@@ -1,0 +1,195 @@
+// Package celeste is a Go reproduction of "Cataloging the Visible Universe
+// through Bayesian Inference at Petascale" (Regier et al., IPPS 2018): a
+// variational-inference system that turns wide-field astronomical survey
+// images into a Bayesian catalog of stars and galaxies, together with the
+// distributed-optimization machinery (Dtree scheduling, PGAS parameter
+// state, Cyclades conflict-free threading) and a discrete-event simulator of
+// the paper's Cori Phase II runs.
+//
+// This package is the public facade. The typical flow:
+//
+//	cfg := celeste.DefaultSurveyConfig(1)
+//	sv := celeste.GenerateSurvey(cfg)         // synthetic SDSS stand-in
+//	init := sv.NoisyCatalog(2)                // the "preexisting catalog"
+//	res := celeste.Infer(sv, init, celeste.InferConfig{})
+//	rows := celeste.CompareToTruth(sv, photoCat, res.Catalog)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure.
+package celeste
+
+import (
+	"celeste/internal/cluster"
+	"celeste/internal/core"
+	"celeste/internal/elbo"
+	"celeste/internal/geom"
+	"celeste/internal/model"
+	"celeste/internal/partition"
+	"celeste/internal/photo"
+	"celeste/internal/survey"
+	"celeste/internal/validate"
+	"celeste/internal/vi"
+)
+
+// Re-exported core types. The aliases keep example and downstream code free
+// of internal import paths while the implementation stays internal.
+type (
+	// CatalogEntry is one light source: position, type probability, fluxes,
+	// galaxy shape, and (for Bayesian catalogs) posterior uncertainties.
+	CatalogEntry = model.CatalogEntry
+	// Params is the unconstrained 44-parameter variational state of one
+	// source.
+	Params = model.Params
+	// Priors holds the model's prior distributions (Φ, Υ, Ξ).
+	Priors = model.Priors
+	// Survey is a synthetic multi-band, multi-epoch imaging survey.
+	Survey = survey.Survey
+	// SurveyConfig controls survey synthesis.
+	SurveyConfig = survey.Config
+	// Image is one band of one field of one run.
+	Image = survey.Image
+	// SkyBox is an axis-aligned region of sky in degrees.
+	SkyBox = geom.Box
+	// SkyPos is a sky position in degrees.
+	SkyPos = geom.Pt2
+	// Task is one unit of distributed work (a sky region).
+	Task = partition.Task
+	// Row is one line of a Table II-style accuracy comparison.
+	Row = validate.Row
+	// Machine describes simulated cluster hardware.
+	Machine = cluster.Machine
+	// Workload describes a simulated task population.
+	Workload = cluster.Workload
+	// SimResult is one simulated cluster run.
+	SimResult = cluster.Result
+)
+
+// DefaultSurveyConfig returns a small but fully featured survey
+// configuration (multi-epoch coverage plus a deep Stripe 82-like strip).
+func DefaultSurveyConfig(seed uint64) SurveyConfig {
+	return survey.DefaultConfig(seed)
+}
+
+// GenerateSurvey synthesizes a survey from the generative model.
+func GenerateSurvey(cfg SurveyConfig) *Survey { return survey.Generate(cfg) }
+
+// DefaultPriors returns hand-set SDSS-like priors.
+func DefaultPriors() Priors { return model.DefaultPriors() }
+
+// FitPriors learns priors from an existing catalog (the paper's
+// preprocessing step).
+func FitPriors(entries []CatalogEntry) Priors { return model.FitPriors(entries) }
+
+// InferConfig controls the full distributed inference pipeline.
+type InferConfig struct {
+	// TargetWork is the per-task work target for sky partitioning
+	// (estimated active pixel visits); 0 selects a size that yields a
+	// handful of tasks for small surveys.
+	TargetWork float64
+	// Threads per simulated process (Cyclades workers).
+	Threads int
+	// Processes simulated for Dtree/PGAS distribution.
+	Processes int
+	// Rounds of block coordinate ascent per task.
+	Rounds int
+	// MaxIter bounds per-source Newton iterations.
+	MaxIter int
+	Seed    uint64
+}
+
+// InferResult is the outcome of Infer.
+type InferResult struct {
+	// Catalog holds the fitted Bayesian catalog with uncertainties, index-
+	// aligned with the initialization catalog.
+	Catalog []CatalogEntry
+	// Tasks is the generated two-stage partition.
+	Tasks []Task
+	// Fits, NewtonIters, and Visits aggregate the optimization work
+	// (Visits drives FLOP accounting, Section VI-B).
+	Fits, NewtonIters, Visits int64
+	// TasksProcessed counts scheduled task executions.
+	TasksProcessed int
+}
+
+// Infer runs the full pipeline on a survey: two-stage sky partition from the
+// initialization catalog, Dtree-scheduled region tasks over simulated
+// processes, Cyclades-parallel joint optimization within each region, PGAS
+// parameter state, and a final catalog with posterior uncertainties.
+func Infer(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig) *InferResult {
+	tw := cfg.TargetWork
+	if tw == 0 {
+		tw = 2e6
+	}
+	tasks := partition.GenerateTwoStage(initCatalog, sv.Config.Region, partition.Options{
+		TargetWork: tw,
+	})
+	run := core.Run(sv, initCatalog, tasks, core.Config{
+		Threads:   cfg.Threads,
+		Rounds:    cfg.Rounds,
+		Processes: cfg.Processes,
+		Seed:      cfg.Seed,
+		Fit:       vi.Options{MaxIter: cfg.MaxIter},
+	})
+	return &InferResult{
+		Catalog:        run.Catalog,
+		Tasks:          tasks,
+		Fits:           run.Stats.Fits,
+		NewtonIters:    run.Stats.NewtonIters,
+		Visits:         run.Stats.Visits,
+		TasksProcessed: run.TasksProcessed,
+	}
+}
+
+// FitSource fits a single light source against a set of images, returning
+// the refined catalog entry with posterior uncertainties, the ELBO achieved,
+// and the Newton iteration count. It is the library entry point for
+// laptop-scale use (one source, a few frames).
+func FitSource(images []*Image, priors *Priors, init CatalogEntry,
+	maxIter int) (CatalogEntry, float64, int) {
+
+	radius := core.InfluenceRadiusPx(&init, images[0].WCS.PixScale())
+	pb := elbo.NewProblem(priors, images, init.Pos, radius)
+	res := vi.Fit(pb, model.InitialParams(&init), vi.Options{MaxIter: maxIter})
+	c := res.Params.Constrained()
+	return model.Summarize(init.ID, &c), res.ELBO, res.Iters
+}
+
+// RunPhoto runs the heuristic baseline pipeline (the Table II comparator) on
+// a set of images, typically one run's imagery.
+func RunPhoto(images []*Image) []CatalogEntry {
+	return photo.Run(images, photo.Config{})
+}
+
+// CompareToTruth scores two catalogs against the survey's ground truth and
+// returns the Table II rows (Photo column first, Celeste column second).
+func CompareToTruth(sv *Survey, photoCat, celesteCat []CatalogEntry) []Row {
+	const matchRadiusPx = 4
+	ps := validate.Score(sv.Truth, photoCat, sv.Config.PixScale, matchRadiusPx)
+	cs := validate.Score(sv.Truth, celesteCat, sv.Config.PixScale, matchRadiusPx)
+	return validate.Table(ps, cs)
+}
+
+// FormatComparison renders comparison rows in the paper's Table II layout.
+func FormatComparison(rows []Row) string { return validate.Format(rows) }
+
+// DefaultMachine returns the Cori Phase II hardware model at the given node
+// count.
+func DefaultMachine(nodes int) Machine { return cluster.DefaultMachine(nodes) }
+
+// DefaultWorkload returns a paper-like task population.
+func DefaultWorkload(tasks int) Workload { return cluster.DefaultWorkload(tasks) }
+
+// SimulateCluster runs the discrete-event cluster simulation.
+func SimulateCluster(m Machine, w Workload, synchronizedStart bool) *SimResult {
+	return cluster.Simulate(m, w, synchronizedStart)
+}
+
+// WeakScaling reproduces the Figure 4 experiment (68 tasks per node).
+func WeakScaling(nodeCounts []int, seed uint64) []*SimResult {
+	return cluster.WeakScaling(nodeCounts, seed)
+}
+
+// StrongScaling reproduces the Figure 5 experiment (557,056 tasks total).
+func StrongScaling(nodeCounts []int, seed uint64) []*SimResult {
+	return cluster.StrongScaling(nodeCounts, seed)
+}

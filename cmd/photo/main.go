@@ -1,0 +1,42 @@
+// Command photo runs the heuristic baseline pipeline on a survey directory,
+// optionally restricted to a single run's imagery (the Table II protocol):
+//
+//	photo -sky ./sky -run 0 -out photo.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"celeste"
+	"celeste/internal/imageio"
+	"celeste/internal/survey"
+)
+
+func main() {
+	sky := flag.String("sky", "sky", "survey directory from skygen")
+	out := flag.String("out", "photo.jsonl", "output catalog path")
+	run := flag.Int("run", -1, "restrict to one run's imagery (-1: all runs)")
+	flag.Parse()
+
+	images, _, err := imageio.ReadSurveyDir(*sky)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var use []*survey.Image
+	for _, im := range images {
+		if *run < 0 || im.Run == *run {
+			use = append(use, im)
+		}
+	}
+	if len(use) == 0 {
+		log.Fatalf("no frames selected (run %d)", *run)
+	}
+	cat := celeste.RunPhoto(use)
+	if err := imageio.WriteCatalog(*out, cat); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detected and measured %d sources from %d frames -> %s\n",
+		len(cat), len(use), *out)
+}

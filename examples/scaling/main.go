@@ -1,0 +1,37 @@
+// Scaling: drive the Cori Phase II discrete-event simulator through a small
+// weak-scaling sweep and the peak-performance configuration, printing the
+// runtime component breakdown the paper plots in Figures 4-5 and the
+// PFLOP/s time series of Section VII-D.
+package main
+
+import (
+	"fmt"
+
+	"celeste"
+)
+
+func main() {
+	fmt.Println("weak scaling, 68 tasks per node (Figure 4 in miniature):")
+	nodes := []int{1, 16, 256, 4096}
+	fmt.Printf("%6s %10s %10s %10s %8s\n", "nodes", "task proc", "img load", "imbalance", "total")
+	for i, r := range celeste.WeakScaling(nodes, 1) {
+		c := r.Components
+		fmt.Printf("%6d %9.0fs %9.0fs %9.0fs %7.0fs\n",
+			nodes[i], c.TaskProcessing, c.ImageLoading, c.LoadImbalance, c.Total())
+	}
+
+	fmt.Println("\npeak-performance run (9568 nodes, synchronized start):")
+	m := celeste.DefaultMachine(9568)
+	m.SustainedEff = 1
+	w := celeste.DefaultWorkload(9568 * 17 * 4)
+	r := celeste.SimulateCluster(m, w, true)
+	fmt.Printf("peak %.2f PFLOP/s across %d processes (paper: 1.54)\n",
+		r.PeakPFLOPs, r.Processes)
+	for i, v := range r.FLOPRateSeries {
+		bar := ""
+		for j := 0; j < int(v*30); j++ {
+			bar += "#"
+		}
+		fmt.Printf("  min %2d %5.2f PF %s\n", i, v, bar)
+	}
+}

@@ -1,0 +1,44 @@
+// Stripe 82 validation in miniature: generate a deep synthetic strip, run
+// the heuristic Photo baseline and the full Celeste pipeline on one epoch's
+// imagery, and print the Table II accuracy comparison against ground truth.
+// This is the same harness as `experiments table2`, scoped to run in about a
+// minute.
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"celeste"
+	"celeste/internal/geom"
+	"celeste/internal/model"
+)
+
+func main() {
+	start := time.Now()
+	cfg := celeste.DefaultSurveyConfig(3)
+	cfg.Region = geom.NewBox(0, 0, 0.02, 0.02)
+	cfg.DeepRegion = cfg.Region
+	cfg.Runs = 1
+	cfg.DeepRuns = 0
+	cfg.FieldW, cfg.FieldH = 128, 128
+	cfg.SourceDensity = 30000
+	cfg.Priors.R1Mean = [model.NumTypes]float64{math.Log(12), math.Log(15)}
+	cfg.Priors.R1SD = [model.NumTypes]float64{0.6, 0.6}
+	sv := celeste.GenerateSurvey(cfg)
+	fmt.Printf("synthetic strip: %d sources, %d frames\n", len(sv.Truth), len(sv.Images))
+
+	photoCat := celeste.RunPhoto(sv.Images)
+	fmt.Printf("Photo cataloged %d sources\n", len(photoCat))
+
+	res := celeste.Infer(sv, sv.NoisyCatalog(4), celeste.InferConfig{
+		Threads: 8, Rounds: 2, MaxIter: 25,
+	})
+	fmt.Printf("Celeste fitted %d sources (%d Newton fits)\n\n",
+		len(res.Catalog), res.Fits)
+
+	rows := celeste.CompareToTruth(sv, photoCat, res.Catalog)
+	fmt.Print(celeste.FormatComparison(rows))
+	fmt.Printf("elapsed: %s\n", time.Since(start).Round(time.Second))
+}

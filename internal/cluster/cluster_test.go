@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeakScalingShape(t *testing.T) {
+	results := WeakScaling([]int{1, 32, 512, 8192}, 1)
+	// Task processing stays nearly constant (it involves no communication).
+	base := results[0].Components.TaskProcessing
+	for i, r := range results {
+		if math.Abs(r.Components.TaskProcessing-base)/base > 0.05 {
+			t.Errorf("run %d: task processing %v departs from %v", i,
+				r.Components.TaskProcessing, base)
+		}
+	}
+	// Image loading constant across scales.
+	loadBase := results[0].Components.ImageLoading
+	for i, r := range results {
+		if math.Abs(r.Components.ImageLoading-loadBase)/loadBase > 0.10 {
+			t.Errorf("run %d: image loading %v departs from %v", i,
+				r.Components.ImageLoading, loadBase)
+		}
+	}
+	// Load imbalance grows and dominates the runtime increase.
+	if results[3].Components.LoadImbalance <= results[0].Components.LoadImbalance {
+		t.Error("load imbalance did not grow with scale")
+	}
+	// Total runtime grows by roughly the paper's 1.9x (accept 1.3-2.6).
+	ratio := results[3].Components.Total() / results[0].Components.Total()
+	if ratio < 1.3 || ratio > 2.6 {
+		t.Errorf("weak scaling total ratio = %.2f, want ~1.9", ratio)
+	}
+	// Other remains a small fraction throughout.
+	for i, r := range results {
+		if r.Components.Other > 0.05*r.Components.Total() {
+			t.Errorf("run %d: 'other' = %v is not small", i, r.Components.Other)
+		}
+	}
+}
+
+func TestStrongScalingShape(t *testing.T) {
+	results := StrongScaling([]int{2048, 4096, 8192}, 1)
+	t2 := results[0].Components.Total()
+	t4 := results[1].Components.Total()
+	t8 := results[2].Components.Total()
+	// Task processing halves with doubling nodes (near-perfect scaling).
+	tp2, tp4, tp8 := results[0].Components.TaskProcessing,
+		results[1].Components.TaskProcessing, results[2].Components.TaskProcessing
+	if math.Abs(tp2/tp4-2) > 0.1 || math.Abs(tp4/tp8-2) > 0.1 {
+		t.Errorf("task processing not ~perfect: %v %v %v", tp2, tp4, tp8)
+	}
+	// Overall efficiency: paper reports 65% (2k->4k) and 50% (2k->8k).
+	eff4 := t2 / (2 * t4)
+	eff8 := t2 / (4 * t8)
+	if eff4 < 0.55 || eff4 > 0.95 {
+		t.Errorf("2k->4k efficiency = %.2f, want ~0.65", eff4)
+	}
+	if eff8 < 0.4 || eff8 > 0.75 {
+		t.Errorf("2k->8k efficiency = %.2f, want ~0.50", eff8)
+	}
+	if !(eff8 < eff4) {
+		t.Errorf("efficiency should degrade with scale: %v vs %v", eff4, eff8)
+	}
+}
+
+func TestTable1Rates(t *testing.T) {
+	m, w := Table1Config()
+	r := Simulate(m, w, false)
+	// Paper: 693.69 / 413.19 / 211.94 TFLOP/s. Accept the same ordering and
+	// rough magnitudes.
+	if math.Abs(r.TFLOPsTaskProcessing-693.69)/693.69 > 0.15 {
+		t.Errorf("task-processing rate = %.1f TF, paper 693.69", r.TFLOPsTaskProcessing)
+	}
+	if r.TFLOPsPlusImbalance >= r.TFLOPsTaskProcessing {
+		t.Error("adding imbalance must lower the sustained rate")
+	}
+	if r.TFLOPsPlusLoading >= r.TFLOPsPlusImbalance {
+		t.Error("adding loading must lower the sustained rate")
+	}
+	if r.TFLOPsPlusLoading < 100 || r.TFLOPsPlusLoading > 350 {
+		t.Errorf("full-runtime rate = %.1f TF, paper 211.94", r.TFLOPsPlusLoading)
+	}
+	// "completed 326,400 tasks in about seven minutes": ours should be in
+	// the same ballpark (within 2x).
+	if r.Makespan < 210 || r.Makespan > 1400 {
+		t.Errorf("makespan = %.0f s, paper ~420 s", r.Makespan)
+	}
+}
+
+func TestPeakRun(t *testing.T) {
+	m := DefaultMachine(9568)
+	m.SustainedEff = 1
+	w := DefaultWorkload(9568 * 17 * 4)
+	r := Simulate(m, w, true)
+	if math.Abs(r.PeakPFLOPs-1.54)/1.54 > 0.05 {
+		t.Errorf("peak = %.3f PFLOP/s, paper 1.54", r.PeakPFLOPs)
+	}
+	// The series must ramp down at the end (stragglers).
+	last := r.FLOPRateSeries[len(r.FLOPRateSeries)-1]
+	if last >= r.PeakPFLOPs {
+		t.Error("FLOP rate series should decay in the final bucket")
+	}
+}
+
+func TestNodeConfigSweepPrefers17x8(t *testing.T) {
+	m := DefaultMachine(1)
+	best := 0.0
+	bestP, bestT := 0, 0
+	for _, procs := range []int{1, 2, 4, 8, 17, 34, 68} {
+		for _, threads := range []int{1, 2, 4, 8, 16, 32} {
+			if procs*threads > 4*m.CoresPerNode {
+				continue
+			}
+			v := NodeConfigThroughput(m, procs, threads)
+			if v > best {
+				best = v
+				bestP, bestT = procs, threads
+			}
+		}
+	}
+	if bestP != 17 || bestT != 8 {
+		t.Errorf("best config = %dx%d, paper found 17 procs x 8 threads", bestP, bestT)
+	}
+}
+
+func TestEveryTaskSimulatedOnce(t *testing.T) {
+	m := DefaultMachine(4)
+	w := DefaultWorkload(4 * 68)
+	r := Simulate(m, w, false)
+	// Total visits must equal the workload's sum.
+	var want float64
+	for _, v := range GenerateVisits(w) {
+		want += v
+	}
+	if math.Abs(float64(r.Visits)-want) > 1 {
+		t.Errorf("visits %d, want %v", r.Visits, want)
+	}
+}
+
+func TestComponentsStackToMakespanApproximately(t *testing.T) {
+	m := DefaultMachine(16)
+	w := DefaultWorkload(16 * 68)
+	r := Simulate(m, w, false)
+	// Average components stack to within a few percent of the makespan
+	// (they are per-process averages; imbalance absorbs the gap).
+	if d := math.Abs(r.Components.Total()-r.Makespan) / r.Makespan; d > 0.05 {
+		t.Errorf("components total %v vs makespan %v", r.Components.Total(), r.Makespan)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	m := DefaultMachine(8)
+	w := DefaultWorkload(8 * 68)
+	a := Simulate(m, w, false)
+	b := Simulate(m, w, false)
+	if a.Makespan != b.Makespan || a.Visits != b.Visits {
+		t.Error("simulation not deterministic")
+	}
+	w2 := w
+	w2.Seed = 99
+	c := Simulate(m, w2, false)
+	if a.Makespan == c.Makespan {
+		t.Error("different seeds gave identical makespans")
+	}
+}
+
+func TestThreadEfficiencyDecays(t *testing.T) {
+	if ThreadEfficiency(1) != 1 {
+		t.Errorf("eff(1) = %v", ThreadEfficiency(1))
+	}
+	prev := ThreadEfficiency(1)
+	for _, n := range []int{2, 4, 8, 16} {
+		e := ThreadEfficiency(n)
+		if e >= prev {
+			t.Errorf("efficiency not decreasing at %d threads", n)
+		}
+		prev = e
+	}
+}
+
+func BenchmarkSimulate8192Nodes(b *testing.B) {
+	m := DefaultMachine(8192)
+	w := DefaultWorkload(8192 * 68)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Simulate(m, w, false)
+	}
+}

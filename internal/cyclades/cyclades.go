@@ -1,0 +1,223 @@
+// Package cyclades implements the Cyclades approach to conflict-free
+// asynchronous machine learning (Pan et al., NIPS 2016) as Celeste uses it
+// (Section IV-D): within one sky-region task, threads run block coordinate
+// ascent over light sources, and two sources conflict when their light
+// overlaps. Each round samples sources without replacement, partitions the
+// sample into connected components of the conflict graph restricted to the
+// sample, and assigns whole components to threads — so no two threads ever
+// update conflicting blocks concurrently, without any locking.
+package cyclades
+
+import (
+	"celeste/internal/geom"
+	"celeste/internal/rng"
+)
+
+// Graph is an undirected conflict graph over n vertices.
+type Graph struct {
+	n   int
+	adj [][]int
+}
+
+// NewGraph returns an empty conflict graph on n vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]int, n)}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge marks vertices a and b as conflicting.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b {
+		return
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+}
+
+// Degree returns the number of conflicts of vertex v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// VisitNeighbors calls fn for every vertex conflicting with v (a vertex may
+// be visited more than once if parallel edges were added).
+func (g *Graph) VisitNeighbors(v int, fn func(w int)) {
+	for _, w := range g.adj[v] {
+		fn(w)
+	}
+}
+
+// BuildConflictGraph constructs the conflict graph for light sources:
+// sources conflict when closer than the sum of their influence radii
+// (their light reaches common pixels). radii are in degrees.
+func BuildConflictGraph(pos []geom.Pt2, radii []float64) *Graph {
+	n := len(pos)
+	g := NewGraph(n)
+	// Simple spatial hashing on a grid sized by the maximum radius keeps
+	// this O(n · neighbors) instead of O(n²).
+	var maxR float64
+	for _, r := range radii {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	if maxR <= 0 || n == 0 {
+		return g
+	}
+	cell := 2 * maxR
+	type key struct{ x, y int }
+	grid := make(map[key][]int)
+	idx := func(p geom.Pt2) key {
+		return key{int(p.RA / cell), int(p.Dec / cell)}
+	}
+	for i, p := range pos {
+		grid[idx(p)] = append(grid[idx(p)], i)
+	}
+	for i, p := range pos {
+		k := idx(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range grid[key{k.x + dx, k.y + dy}] {
+					if j <= i {
+						continue
+					}
+					if geom.Dist(p, pos[j]) < radii[i]+radii[j] {
+						g.AddEdge(i, j)
+					}
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Batch is one round's worth of work: connected components of the sampled
+// subgraph. Components are units of assignment; sources within a component
+// must be processed by the same thread (serially).
+type Batch struct {
+	Components [][]int
+}
+
+// Size returns the total number of sources in the batch.
+func (b *Batch) Size() int {
+	var s int
+	for _, c := range b.Components {
+		s += len(c)
+	}
+	return s
+}
+
+// Plan samples all n vertices without replacement in rounds of batchSize and
+// splits each round's sample into connected components of the induced
+// subgraph. Every vertex appears in exactly one component across all
+// batches. batchSize <= 0 means one single batch of everything.
+func Plan(g *Graph, r *rng.Source, batchSize int) []Batch {
+	n := g.n
+	if batchSize <= 0 || batchSize > n {
+		batchSize = n
+	}
+	perm := r.Perm(n)
+	var batches []Batch
+	inSample := make([]int, n) // round index + 1, 0 = not sampled
+	for start := 0; start < n; start += batchSize {
+		end := start + batchSize
+		if end > n {
+			end = n
+		}
+		sample := perm[start:end]
+		round := start/batchSize + 1
+		for _, v := range sample {
+			inSample[v] = round
+		}
+		// Union-find over the sampled vertices.
+		uf := newUnionFind(len(sample))
+		local := make(map[int]int, len(sample))
+		for li, v := range sample {
+			local[v] = li
+		}
+		for li, v := range sample {
+			for _, w := range g.adj[v] {
+				if inSample[w] == round {
+					uf.union(li, local[w])
+				}
+			}
+		}
+		comps := make(map[int][]int)
+		for li, v := range sample {
+			root := uf.find(li)
+			comps[root] = append(comps[root], v)
+		}
+		var batch Batch
+		for _, c := range comps {
+			batch.Components = append(batch.Components, c)
+		}
+		batches = append(batches, batch)
+	}
+	return batches
+}
+
+// Assign distributes a batch's components over nThreads queues, longest
+// component first (LPT scheduling), so thread loads stay balanced even when
+// one component is large.
+func Assign(b *Batch, nThreads int) [][][]int {
+	queues := make([][][]int, nThreads)
+	loads := make([]int, nThreads)
+	// Sort components by descending size (insertion sort; counts are small).
+	comps := append([][]int(nil), b.Components...)
+	for i := 1; i < len(comps); i++ {
+		c := comps[i]
+		j := i - 1
+		for j >= 0 && len(comps[j]) < len(c) {
+			comps[j+1] = comps[j]
+			j--
+		}
+		comps[j+1] = c
+	}
+	for _, c := range comps {
+		// Least-loaded thread.
+		best := 0
+		for t := 1; t < nThreads; t++ {
+			if loads[t] < loads[best] {
+				best = t
+			}
+		}
+		queues[best] = append(queues[best], c)
+		loads[best] += len(c)
+	}
+	return queues
+}
+
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+func (uf *unionFind) union(a, b int) {
+	ra, rb := uf.find(a), uf.find(b)
+	if ra == rb {
+		return
+	}
+	if uf.rank[ra] < uf.rank[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	if uf.rank[ra] == uf.rank[rb] {
+		uf.rank[ra]++
+	}
+}

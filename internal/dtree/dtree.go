@@ -1,0 +1,293 @@
+// Package dtree implements the Dtree distributed dynamic scheduler (Pamnany
+// et al., "Dtree: Dynamic task scheduling at petascale") that Celeste uses
+// to balance irregular tasks across nodes (Section IV-B). Compute nodes form
+// a tree of fan-out k (height logarithmic in the node count); a fraction of
+// the task range is dealt out statically up front (the "first allocation"),
+// and the remainder flows down the tree on demand: a node that drains its
+// local pool asks its parent for a chunk, and requests cascade toward the
+// root, which owns the undistributed range.
+//
+// Two consumers drive this package: the in-process runtime below (goroutines
+// and channels standing in for MPI ranks, used by the end-to-end inference
+// driver) and the discrete-event cluster simulator (internal/cluster), which
+// replays the same allocation policy with modeled latencies to reproduce the
+// paper's scaling figures. The policy functions are pure so both agree
+// exactly.
+package dtree
+
+import (
+	"sync"
+)
+
+// Config parameterizes the scheduler policy.
+type Config struct {
+	Fanout    int     // tree fan-out (default 8)
+	FirstFrac float64 // fraction of tasks distributed statically (default 0.4)
+	ChunkFrac float64 // fraction of the holder's remaining pool per request,
+	// scaled by the requester's subtree size (default 0.5)
+	MinChunk int // smallest chunk handed down (default 1)
+}
+
+func (c *Config) defaults() {
+	if c.Fanout == 0 {
+		c.Fanout = 8
+	}
+	if c.FirstFrac == 0 {
+		c.FirstFrac = 0.4
+	}
+	if c.ChunkFrac == 0 {
+		c.ChunkFrac = 0.5
+	}
+	if c.MinChunk == 0 {
+		c.MinChunk = 1
+	}
+}
+
+// Parent returns the tree parent of rank (rank 0 is the root, parent -1).
+func Parent(rank, fanout int) int {
+	if rank == 0 {
+		return -1
+	}
+	return (rank - 1) / fanout
+}
+
+// Children returns the children of rank in an n-rank tree.
+func Children(rank, fanout, n int) []int {
+	var out []int
+	for i := 1; i <= fanout; i++ {
+		c := rank*fanout + i
+		if c < n {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Depth returns the tree height for n ranks.
+func Depth(n, fanout int) int {
+	d := 0
+	// The deepest rank is n-1.
+	for r := n - 1; r > 0; r = Parent(r, fanout) {
+		d++
+	}
+	return d
+}
+
+// SubtreeSize returns the number of ranks in rank's subtree (including
+// itself).
+func SubtreeSize(rank, fanout, n int) int {
+	size := 1
+	for _, c := range Children(rank, fanout, n) {
+		size += SubtreeSize(c, fanout, n)
+	}
+	return size
+}
+
+// FirstAllocation splits the static share of totalTasks evenly over n ranks:
+// rank i receives [start, start+count). The remaining tasks
+// [n*per, totalTasks) stay at the root for dynamic distribution.
+func FirstAllocation(cfg Config, totalTasks, n, rank int) (start, count int) {
+	cfg.defaults()
+	per := int(cfg.FirstFrac * float64(totalTasks) / float64(n))
+	return rank * per, per
+}
+
+// DynamicStart returns the first task index of the dynamically distributed
+// range.
+func DynamicStart(cfg Config, totalTasks, n int) int {
+	cfg.defaults()
+	per := int(cfg.FirstFrac * float64(totalTasks) / float64(n))
+	return per * n
+}
+
+// ChunkSize decides how many tasks a holder with `remaining` pooled tasks
+// hands to a requesting child: the requester's fair share of the holder's
+// pool, proportional to subtree sizes (the holder's pool serves its whole
+// subtree). ChunkFrac < 1 holds some back for later requesters.
+func ChunkSize(cfg Config, remaining, subRequester, subHolder int) int {
+	cfg.defaults()
+	if remaining <= 0 {
+		return 0
+	}
+	c := int(cfg.ChunkFrac * float64(remaining) * float64(subRequester) / float64(subHolder))
+	if c < cfg.MinChunk {
+		c = cfg.MinChunk
+	}
+	if c > remaining {
+		c = remaining
+	}
+	return c
+}
+
+// --- In-process runtime ---
+
+// Scheduler runs the Dtree policy over in-process ranks. The root holds the
+// dynamic pool; every rank holds a local pool refilled through its parent
+// chain. It is safe for concurrent use by one goroutine per rank.
+type Scheduler struct {
+	cfg   Config
+	n     int
+	total int
+
+	mu    sync.Mutex
+	pools []pool // per-rank local pool; the root's also holds the dynamic range
+
+	subSize []int // cached SubtreeSize per rank (petascale rank counts)
+
+	// Stats.
+	requests  []int64 // per-rank requests sent up the chain
+	delivered []int64 // per-rank tasks processed
+}
+
+type taskRange struct{ lo, hi int }
+
+func (r taskRange) size() int { return r.hi - r.lo }
+
+// pool is an ordered list of disjoint task ranges.
+type pool struct{ ranges []taskRange }
+
+func (p *pool) size() int {
+	var s int
+	for _, r := range p.ranges {
+		s += r.size()
+	}
+	return s
+}
+
+// take removes up to k tasks from the front of the pool.
+func (p *pool) take(k int) pool {
+	var out pool
+	for k > 0 && len(p.ranges) > 0 {
+		r := &p.ranges[0]
+		n := r.size()
+		if n > k {
+			n = k
+		}
+		out.ranges = append(out.ranges, taskRange{r.lo, r.lo + n})
+		r.lo += n
+		k -= n
+		if r.size() == 0 {
+			p.ranges = p.ranges[1:]
+		}
+	}
+	return out
+}
+
+// takeOne removes a single task index.
+func (p *pool) takeOne() int {
+	r := &p.ranges[0]
+	t := r.lo
+	r.lo++
+	if r.size() == 0 {
+		p.ranges = p.ranges[1:]
+	}
+	return t
+}
+
+func (p *pool) add(q pool) { p.ranges = append(p.ranges, q.ranges...) }
+
+// New creates a scheduler for totalTasks over n ranks: static first
+// allocations per rank, with the dynamic remainder pooled at the root rank.
+func New(cfg Config, n, totalTasks int) *Scheduler {
+	cfg.defaults()
+	s := &Scheduler{
+		cfg: cfg, n: n, total: totalTasks,
+		pools:     make([]pool, n),
+		requests:  make([]int64, n),
+		delivered: make([]int64, n),
+	}
+	for r := 0; r < n; r++ {
+		start, count := FirstAllocation(cfg, totalTasks, n, r)
+		if count > 0 {
+			s.pools[r].ranges = []taskRange{{start, start + count}}
+		}
+	}
+	ds := DynamicStart(cfg, totalTasks, n)
+	if ds < totalTasks {
+		s.pools[0].ranges = append(s.pools[0].ranges, taskRange{ds, totalTasks})
+	}
+	// Subtree sizes bottom-up (avoids O(n) recursion per refill).
+	s.subSize = make([]int, n)
+	for r := n - 1; r >= 0; r-- {
+		s.subSize[r]++
+		if p := Parent(r, cfg.Fanout); p >= 0 {
+			s.subSize[p] += s.subSize[r]
+		}
+	}
+	return s
+}
+
+// Next returns the next task index for rank, or ok=false when the global
+// supply is exhausted. Draining ranks pull chunks through their ancestor
+// chain, mirroring request propagation toward the root.
+func (s *Scheduler) Next(rank int) (task int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pools[rank].size() == 0 {
+		s.refillLocked(rank)
+	}
+	if s.pools[rank].size() == 0 {
+		return 0, false
+	}
+	s.delivered[rank]++
+	return s.pools[rank].takeOne(), true
+}
+
+// refillLocked walks up the ancestor chain to the nearest pool with tasks
+// and cascades fair-share chunks back down to the requester.
+func (s *Scheduler) refillLocked(rank int) {
+	chain := []int{rank}
+	for p := Parent(rank, s.cfg.Fanout); p >= 0; p = Parent(p, s.cfg.Fanout) {
+		chain = append(chain, p)
+	}
+	s.requests[rank]++
+	level := -1
+	for i := 1; i < len(chain); i++ {
+		if s.pools[chain[i]].size() > 0 {
+			level = i
+			break
+		}
+	}
+	if level == -1 {
+		return // global exhaustion
+	}
+	for i := level; i > 0; i-- {
+		holder, requester := chain[i], chain[i-1]
+		subH := s.subSize[holder]
+		subR := s.subSize[requester]
+		k := ChunkSize(s.cfg, s.pools[holder].size(), subR, subH)
+		got := s.pools[holder].take(k)
+		if got.size() == 0 {
+			return
+		}
+		s.pools[requester].add(got)
+	}
+}
+
+// Stats returns, per rank, how many tasks it processed and how many refill
+// requests it issued.
+func (s *Scheduler) Stats() (delivered, requests []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.delivered...), append([]int64(nil), s.requests...)
+}
+
+// Run executes process for every task, with one goroutine per rank pulling
+// from the scheduler until exhaustion. It returns when all tasks are done.
+func (s *Scheduler) Run(process func(rank, task int)) {
+	var wg sync.WaitGroup
+	for r := 0; r < s.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for {
+				t, ok := s.Next(rank)
+				if !ok {
+					return
+				}
+				process(rank, t)
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,273 @@
+package dtree
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"celeste/internal/rng"
+)
+
+func TestTopology(t *testing.T) {
+	if Parent(0, 8) != -1 {
+		t.Error("root parent should be -1")
+	}
+	// With fanout 2: children of 0 are 1,2; of 1 are 3,4.
+	ch := Children(0, 2, 7)
+	if len(ch) != 2 || ch[0] != 1 || ch[1] != 2 {
+		t.Errorf("children(0) = %v", ch)
+	}
+	for _, c := range ch {
+		if Parent(c, 2) != 0 {
+			t.Errorf("parent(%d) = %d", c, Parent(c, 2))
+		}
+	}
+	// Every rank's parent chain reaches the root.
+	for r := 0; r < 100; r++ {
+		steps := 0
+		for p := r; p != 0; p = Parent(p, 8) {
+			steps++
+			if steps > 100 {
+				t.Fatalf("rank %d never reaches root", r)
+			}
+		}
+	}
+	// Depth is logarithmic.
+	if d := Depth(4096, 8); d != 4 {
+		t.Errorf("depth(4096, 8) = %d, want 4", d)
+	}
+	if SubtreeSize(0, 8, 100) != 100 {
+		t.Errorf("root subtree = %d", SubtreeSize(0, 8, 100))
+	}
+}
+
+func TestSubtreeSizesPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 2 + int(seed%500)
+		fanout := 2 + int(seed%7)
+		// Children subtrees plus self partition each subtree.
+		var check func(r int) bool
+		check = func(r int) bool {
+			total := 1
+			for _, c := range Children(r, fanout, n) {
+				total += SubtreeSize(c, fanout, n)
+				if !check(c) {
+					return false
+				}
+			}
+			return total == SubtreeSize(r, fanout, n)
+		}
+		return check(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEveryTaskScheduledExactlyOnce(t *testing.T) {
+	for _, tc := range []struct{ n, tasks int }{
+		{1, 100}, {4, 1000}, {16, 557}, {64, 4096}, {100, 99},
+	} {
+		s := New(Config{}, tc.n, tc.tasks)
+		var mu sync.Mutex
+		seen := make(map[int]int)
+		s.Run(func(rank, task int) {
+			mu.Lock()
+			seen[task]++
+			mu.Unlock()
+		})
+		if len(seen) != tc.tasks {
+			t.Fatalf("n=%d tasks=%d: executed %d distinct tasks", tc.n, tc.tasks, len(seen))
+		}
+		for task, c := range seen {
+			if c != 1 {
+				t.Fatalf("task %d executed %d times", task, c)
+			}
+		}
+	}
+}
+
+func TestLoadBalanceUniformTasks(t *testing.T) {
+	// Under virtual-clock execution (true parallelism), uniform tasks must
+	// spread almost evenly across ranks.
+	n, tasks := 32, 3200
+	s := New(Config{}, n, tasks)
+	clock := make([]float64, n)
+	done := make([]bool, n)
+	active := n
+	for active > 0 {
+		best := -1
+		for i := 0; i < n; i++ {
+			if !done[i] && (best == -1 || clock[i] < clock[best]) {
+				best = i
+			}
+		}
+		if _, ok := s.Next(best); !ok {
+			done[best] = true
+			active--
+			continue
+		}
+		clock[best]++
+	}
+	delivered, _ := s.Stats()
+	for r, d := range delivered {
+		if d < int64(tasks/n)*6/10 {
+			t.Errorf("rank %d processed only %d tasks (fair share %d)", r, d, tasks/n)
+		}
+	}
+}
+
+func TestLoadBalanceSkewedDurations(t *testing.T) {
+	// Heavy-tailed task costs under a deterministic virtual-clock execution
+	// (each step advances the least-loaded rank, modeling true hardware
+	// parallelism): dynamic distribution must keep the makespan spread far
+	// below static round-robin's.
+	n, tasks := 16, 2000
+	r := rng.New(42)
+	cost := make([]float64, tasks)
+	for i := range cost {
+		c := 1.0
+		if r.Float64() < 0.05 {
+			c = 50 // rare huge tasks
+		}
+		cost[i] = c
+	}
+	s := New(Config{FirstFrac: 0.3}, n, tasks)
+	clock := make([]float64, n)
+	done := make([]bool, n)
+	active := n
+	for active > 0 {
+		// Non-done rank with the smallest virtual clock pulls next.
+		best := -1
+		for i := 0; i < n; i++ {
+			if !done[i] && (best == -1 || clock[i] < clock[best]) {
+				best = i
+			}
+		}
+		task, ok := s.Next(best)
+		if !ok {
+			done[best] = true
+			active--
+			continue
+		}
+		clock[best] += cost[task]
+	}
+	var minC, maxC = clock[0], clock[0]
+	var total float64
+	for _, c := range clock {
+		total += c
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	mean := total / float64(n)
+	// The makespan should be within a couple of heavy tasks of the mean.
+	if maxC > mean+2.5*50 {
+		t.Errorf("makespan %v vs mean %v: dynamic balancing failed (clocks %v)",
+			maxC, mean, clock)
+	}
+	// And far better than static blocks: static imbalance here exceeds
+	// mean + several hundred.
+	static := staticBlockMakespan(cost, n)
+	if maxC >= static {
+		t.Errorf("dtree makespan %v not better than static %v", maxC, static)
+	}
+}
+
+// staticBlockMakespan computes the makespan if tasks were dealt in
+// contiguous equal blocks with no dynamic redistribution.
+func staticBlockMakespan(cost []float64, n int) float64 {
+	per := (len(cost) + n - 1) / n
+	var max float64
+	for r := 0; r < n; r++ {
+		var sum float64
+		for i := r * per; i < (r+1)*per && i < len(cost); i++ {
+			sum += cost[i]
+		}
+		if sum > max {
+			max = sum
+		}
+	}
+	return max
+}
+
+func TestChunkSizePolicy(t *testing.T) {
+	cfg := Config{}
+	cfg.defaults()
+	if ChunkSize(cfg, 0, 4, 64) != 0 {
+		t.Error("chunk from empty pool must be 0")
+	}
+	if c := ChunkSize(cfg, 1000, 64, 64); c <= 0 || c > 1000 {
+		t.Errorf("full-subtree chunk = %d", c)
+	}
+	// Bigger subtrees get bigger chunks.
+	small := ChunkSize(cfg, 1000, 1, 64)
+	big := ChunkSize(cfg, 1000, 32, 64)
+	if big <= small {
+		t.Errorf("chunk not monotone in subtree size: %d vs %d", small, big)
+	}
+	// Chunk never exceeds the pool.
+	if c := ChunkSize(cfg, 3, 64, 64); c > 3 {
+		t.Errorf("chunk %d exceeds remaining 3", c)
+	}
+}
+
+func TestFirstAllocationDisjoint(t *testing.T) {
+	cfg := Config{FirstFrac: 0.5}
+	total, n := 10000, 37
+	end := 0
+	for r := 0; r < n; r++ {
+		start, count := FirstAllocation(cfg, total, n, r)
+		if start != end {
+			t.Fatalf("rank %d starts at %d, want %d", r, start, end)
+		}
+		end = start + count
+	}
+	if ds := DynamicStart(cfg, total, n); ds != end {
+		t.Fatalf("dynamic start %d != static end %d", ds, end)
+	}
+	if end > total {
+		t.Fatalf("static allocation %d exceeds total %d", end, total)
+	}
+}
+
+func TestMoreTasksThanRanksNotRequired(t *testing.T) {
+	// Fewer tasks than ranks: everything must still complete.
+	s := New(Config{}, 64, 10)
+	var count int64
+	s.Run(func(rank, task int) { atomic.AddInt64(&count, 1) })
+	if count != 10 {
+		t.Errorf("executed %d of 10", count)
+	}
+}
+
+func TestRequestsScaleReasonably(t *testing.T) {
+	// The tree design bounds communication: requests per rank should be
+	// modest compared to tasks processed.
+	n, tasks := 64, 6400
+	s := New(Config{}, n, tasks)
+	s.Run(func(rank, task int) {})
+	delivered, requests := s.Stats()
+	var d, q int64
+	for r := range delivered {
+		d += delivered[r]
+		q += requests[r]
+	}
+	if d != int64(tasks) {
+		t.Fatalf("delivered %d", d)
+	}
+	if q > int64(tasks) {
+		t.Errorf("requests (%d) exceed tasks (%d); chunking is broken", q, tasks)
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New(Config{}, 32, 10000)
+		s.Run(func(rank, task int) {})
+	}
+}

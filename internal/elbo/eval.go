@@ -1,0 +1,247 @@
+package elbo
+
+import (
+	"math"
+
+	"celeste/internal/dual"
+	"celeste/internal/geom"
+	"celeste/internal/linalg"
+	"celeste/internal/model"
+)
+
+// Result is a full objective evaluation: value, gradient, Hessian, and the
+// active-pixel-visit count used for FLOP accounting (Section VI-B of the
+// paper).
+type Result struct {
+	Value  float64
+	Grad   [model.ParamDim]float64
+	Hess   *linalg.Mat // 44x44, symmetric, fully populated
+	Visits int64
+}
+
+// activeDim is the number of coordinates touched by pixel terms: 6 spatial
+// plus 22 brightness. Coordinates 28..43 (responsibilities) appear only in
+// the KL term.
+const activeDim = 6 + brightDim
+
+// Eval computes the ELBO restricted to this source's block: the sum of
+// per-pixel delta-method Poisson terms minus the KL from the priors, with
+// exact gradient and Hessian.
+func (pb *Problem) Eval(theta *model.Params) *Result {
+	res := &Result{Hess: linalg.NewMat(model.ParamDim, model.ParamDim)}
+
+	bm := computeBrightMoments(theta)
+
+	// Per-pixel accumulation into the active 28x28 block.
+	var grad [activeDim]float64
+	hess := linalg.NewMat(activeDim, activeDim) // lower triangle
+
+	var gm, ge2 [activeDim]float64 // scratch: ∇m, ∇e2 per pixel
+
+	for _, p := range pb.Patches {
+		ev := buildEvaluator(theta, p)
+		srcX, srcY := p.WCS.WorldToPix(pbPos(theta))
+		iota := p.Iota
+		b := p.Band
+		av, bv, cv, dv := bm.A[b], bm.B[b], bm.C[b], bm.D[b]
+		// Fold ι into the moments once per patch.
+		aV, bV := iota*av.Val, iota*bv.Val
+		cV, dV := iota*iota*cv.Val, iota*iota*dv.Val
+
+		k := 0
+		for y := p.Rect.Y0; y < p.Rect.Y1; y++ {
+			fy := float64(y)
+			for x := p.Rect.X0; x < p.Rect.X1; x++ {
+				obs := p.Obs[k]
+				bg := p.Bg[k]
+				vbg := p.VBg[k]
+				k++
+				res.Visits++
+
+				gs := ev.EvalStar(float64(x)-srcX, fy-srcY)
+				gg := ev.EvalGal(float64(x)-srcX, fy-srcY)
+				gs2 := dual.Sqr(gs)
+				gg2 := dual.Sqr(gg)
+
+				m := aV*gs.V + bV*gg.V
+				e2 := cV*gs2.V + dV*gg2.V
+				ef := bg + m
+				vf := vbg + e2 - m*m
+				if ef <= 0 {
+					// Cannot happen with positive sky; guard anyway.
+					continue
+				}
+
+				// Pixel objective f = obs·(log EF − VF/(2EF²)) − EF and its
+				// partials in (m, e2).
+				inv := 1 / ef
+				inv2 := inv * inv
+				inv3 := inv2 * inv
+				inv4 := inv2 * inv2
+				res.Value += obs*(math.Log(ef)-vf*inv2/2) - ef
+				p1 := obs*(inv+m*inv2+vf*inv3) - 1
+				p2 := -obs * inv2 / 2
+				// ∂²f/∂m²: differentiate obs·(1/EF + m/EF² + VF/EF³) − 0 in m
+				// with dEF/dm = 1 and dVF/dm = −2m:
+				//   d(1/EF) = −1/EF²;  d(m/EF²) = 1/EF² − 2m/EF³;
+				//   d(VF/EF³) = −2m/EF³ − 3VF/EF⁴.
+				// The 1/EF² terms cancel, leaving −4m/EF³ − 3VF/EF⁴.
+				p11 := obs * (-4*m*inv3 - 3*vf*inv4)
+				p12 := obs * inv3 // ∂²f/∂m∂e2
+				// ∂²f/∂e2² = 0.
+
+				// ∇m and ∇e2 over the active coordinates.
+				for i := 0; i < 6; i++ {
+					gm[i] = aV*gs.G[i] + bV*gg.G[i]
+					ge2[i] = cV*gs2.G[i] + dV*gg2.G[i]
+				}
+				for l := 0; l < brightDim; l++ {
+					gm[6+l] = iota * (gs.V*av.Grad[l] + gg.V*bv.Grad[l])
+					ge2[6+l] = iota * iota * (gs2.V*cv.Grad[l] + gg2.V*dv.Grad[l])
+				}
+
+				// Gradient accumulation.
+				for i := 0; i < activeDim; i++ {
+					grad[i] += p1*gm[i] + p2*ge2[i]
+				}
+
+				// Hessian: p1·∇²m + p2·∇²e2 + outer-product terms.
+				// Spatial block (0..5): dual Hessians.
+				for i := 0; i < 6; i++ {
+					row := hess.Data[i*activeDim:]
+					for j := 0; j <= i; j++ {
+						hIdx := dual.Idx(i, j)
+						h2m := aV*gs.H[hIdx] + bV*gg.H[hIdx]
+						h2e := cV*gs2.H[hIdx] + dV*gg2.H[hIdx]
+						row[j] += p1*h2m + p2*h2e +
+							p11*gm[i]*gm[j] + p12*(gm[i]*ge2[j]+gm[j]*ge2[i])
+					}
+				}
+				// Cross block (bright x spatial) and bright block.
+				for li := 0; li < brightDim; li++ {
+					i := 6 + li
+					row := hess.Data[i*activeDim:]
+					// Cross: ∂²m/∂bright∂spatial = ∂A/∂b·∂g★/∂s + ...
+					for j := 0; j < 6; j++ {
+						h2m := iota * (av.Grad[li]*gs.G[j] + bv.Grad[li]*gg.G[j])
+						h2e := iota * iota * (cv.Grad[li]*gs2.G[j] + dv.Grad[li]*gg2.G[j])
+						row[j] += p1*h2m + p2*h2e +
+							p11*gm[i]*gm[j] + p12*(gm[i]*ge2[j]+gm[j]*ge2[i])
+					}
+					// Bright block: moments' own Hessians scaled by g values.
+					for lj := 0; lj <= li; lj++ {
+						j := 6 + lj
+						hIdx := li*(li+1)/2 + lj
+						h2m := iota * (gs.V*av.Hess[hIdx] + gg.V*bv.Hess[hIdx])
+						h2e := iota * iota * (gs2.V*cv.Hess[hIdx] + gg2.V*dv.Hess[hIdx])
+						row[j] += p1*h2m + p2*h2e +
+							p11*gm[i]*gm[j] + p12*(gm[i]*ge2[j]+gm[j]*ge2[i])
+					}
+				}
+			}
+		}
+	}
+
+	// Scatter the active block into the global result.
+	for i := 0; i < activeDim; i++ {
+		gi := activeGlobal(i)
+		res.Grad[gi] += grad[i]
+		for j := 0; j <= i; j++ {
+			gj := activeGlobal(j)
+			res.Hess.Add(gi, gj, hess.At(i, j))
+			if gi != gj {
+				res.Hess.Add(gj, gi, hess.At(i, j))
+			}
+		}
+	}
+
+	// KL terms (subtracted from the ELBO).
+	kl := computeKL(theta, pb.Priors)
+	res.Value -= kl.Val
+	for l := 0; l < klDim; l++ {
+		res.Grad[klGlobal[l]] -= kl.Grad[l]
+	}
+	for li := 0; li < klDim; li++ {
+		gi := klGlobal[li]
+		for lj := 0; lj <= li; lj++ {
+			gj := klGlobal[lj]
+			h := kl.Hess[li*(li+1)/2+lj]
+			res.Hess.Add(gi, gj, -h)
+			if gi != gj {
+				res.Hess.Add(gj, gi, -h)
+			}
+		}
+	}
+
+	// Weak position anchor (see Problem.PosPenalty).
+	if pb.PosPenalty > 0 {
+		dra := theta[model.ParamRA] - pb.PosAnchor.RA
+		ddec := theta[model.ParamDec] - pb.PosAnchor.Dec
+		res.Value -= 0.5 * pb.PosPenalty * (dra*dra + ddec*ddec)
+		res.Grad[model.ParamRA] -= pb.PosPenalty * dra
+		res.Grad[model.ParamDec] -= pb.PosPenalty * ddec
+		res.Hess.Add(model.ParamRA, model.ParamRA, -pb.PosPenalty)
+		res.Hess.Add(model.ParamDec, model.ParamDec, -pb.PosPenalty)
+	}
+	return res
+}
+
+// EvalValue computes the objective value only (no derivatives), used for
+// trust-region ratio tests. It also returns the visit count.
+func (pb *Problem) EvalValue(theta *model.Params) (float64, int64) {
+	c := theta.Constrained()
+	m1s, m2s := model.FluxMoments(c.R1[model.Star], c.R2[model.Star], c.C1[model.Star], c.C2[model.Star])
+	m1g, m2g := model.FluxMoments(c.R1[model.Gal], c.R2[model.Gal], c.C1[model.Gal], c.C2[model.Gal])
+	chiS, chiG := 1-c.ProbGal, c.ProbGal
+
+	var value float64
+	var visits int64
+	for _, p := range pb.Patches {
+		star := p.PSF
+		gal := galaxyMixtureFor(&c, p)
+		px, py := p.WCS.WorldToPix(c.Pos)
+		iota := p.Iota
+		b := p.Band
+		aV := iota * chiS * m1s[b]
+		bV := iota * chiG * m1g[b]
+		cV := iota * iota * chiS * m2s[b]
+		dV := iota * iota * chiG * m2g[b]
+		k := 0
+		for y := p.Rect.Y0; y < p.Rect.Y1; y++ {
+			for x := p.Rect.X0; x < p.Rect.X1; x++ {
+				obs, bg, vbg := p.Obs[k], p.Bg[k], p.VBg[k]
+				k++
+				visits++
+				gs := star.Eval(float64(x)-px, float64(y)-py)
+				gg := gal.Eval(float64(x)-px, float64(y)-py)
+				m := aV*gs + bV*gg
+				e2 := cV*gs*gs + dV*gg*gg
+				ef := bg + m
+				vf := vbg + e2 - m*m
+				if ef <= 0 {
+					continue
+				}
+				value += obs*(math.Log(ef)-vf/(2*ef*ef)) - ef
+			}
+		}
+	}
+	kl := klValue(theta, pb.Priors)
+	value -= kl
+	if pb.PosPenalty > 0 {
+		dra := theta[model.ParamRA] - pb.PosAnchor.RA
+		ddec := theta[model.ParamDec] - pb.PosAnchor.Dec
+		value -= 0.5 * pb.PosPenalty * (dra*dra + ddec*ddec)
+	}
+	return value, visits
+}
+
+func activeGlobal(i int) int {
+	if i < 6 {
+		return i
+	}
+	return brightGlobal[i-6]
+}
+
+func pbPos(theta *model.Params) geom.Pt2 {
+	return geom.Pt2{RA: theta[model.ParamRA], Dec: theta[model.ParamDec]}
+}

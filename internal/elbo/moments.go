@@ -1,0 +1,230 @@
+package elbo
+
+import (
+	"math"
+
+	"celeste/internal/ad"
+	"celeste/internal/galprof"
+	"celeste/internal/mathx"
+	"celeste/internal/model"
+	"celeste/internal/mog"
+)
+
+// Shared galaxy profile mixtures.
+var (
+	expProf = galprof.Exponential()
+	devProf = galprof.DeVaucouleurs()
+)
+
+// brightDim is the size of the brightness subspace: the two type logits plus
+// r1, r2, c1[4], c2[4] for each type.
+const brightDim = 22
+
+// brightGlobal maps brightness-subspace indices to global parameter indices
+// [6, 28).
+var brightGlobal = func() [brightDim]int {
+	var m [brightDim]int
+	for l := 0; l < brightDim; l++ {
+		m[l] = model.ParamTypeStar + l
+	}
+	return m
+}()
+
+// klDim is the size of the KL subspace: everything except position and
+// galaxy shape (those are point estimates with flat priors).
+const klDim = model.ParamDim - 6
+
+// klGlobal maps KL-subspace indices to global indices [6, 44).
+var klGlobal = func() [klDim]int {
+	var m [klDim]int
+	for l := 0; l < klDim; l++ {
+		m[l] = 6 + l
+	}
+	return m
+}()
+
+// brightMoments holds the four per-band flux moments with derivatives in the
+// brightness subspace. A and B are the star/galaxy expected-flux factors
+// (χ_t·E[ℓ_b]); C and D the second-moment factors (χ_t·E[ℓ_b²]). The
+// per-image calibration ι is applied at use time.
+type brightMoments struct {
+	A, B, C, D [model.NumBands]*ad.Num
+}
+
+// computeBrightMoments differentiates the flux moments with respect to the
+// 22 brightness coordinates at the current parameter values.
+func computeBrightMoments(theta *model.Params) *brightMoments {
+	s := ad.NewSpace(brightDim)
+	vars := make([]*ad.Num, brightDim)
+	for l := 0; l < brightDim; l++ {
+		vars[l] = s.Var(theta[brightGlobal[l]], l)
+	}
+	chi := ad.Softmax([]*ad.Num{vars[0], vars[1]}) // [star, gal]
+
+	bm := &brightMoments{}
+	for t := 0; t < model.NumTypes; t++ {
+		r1 := vars[2+t]
+		r2 := ad.Exp(vars[4+t])
+		c1 := vars[6+4*t : 6+4*t+4]
+		c2 := make([]*ad.Num, model.NumColors)
+		for i := 0; i < model.NumColors; i++ {
+			c2[i] = ad.Exp(vars[14+4*t+i])
+		}
+		for b := 0; b < model.NumBands; b++ {
+			m := r1
+			v := r2
+			for i := 0; i < model.NumColors; i++ {
+				beta := model.BandCoeff[b][i]
+				if beta == 0 {
+					continue
+				}
+				m = ad.Add(m, ad.Scale(beta, c1[i]))
+				v = ad.Add(v, ad.Scale(beta*beta, c2[i]))
+			}
+			el := ad.Exp(ad.Add(m, ad.Scale(0.5, v)))
+			el2 := ad.Exp(ad.Add(ad.Scale(2, m), ad.Scale(2, v)))
+			if t == model.Star {
+				bm.A[b] = ad.Mul(chi[0], el)
+				bm.C[b] = ad.Mul(chi[0], el2)
+			} else {
+				bm.B[b] = ad.Mul(chi[1], el)
+				bm.D[b] = ad.Mul(chi[1], el2)
+			}
+		}
+	}
+	return bm
+}
+
+// computeKL returns the total KL divergence from the priors with derivatives
+// in the KL subspace (global indices 6..43):
+//
+//	KL(q(a)||p(a)) + Σ_t q(a=t)·[KL_r(t) + KL_k(t) + Σ_d q(k=d)·KL_c(t,d)]
+func computeKL(theta *model.Params, priors *model.Priors) *ad.Num {
+	s := ad.NewSpace(klDim)
+	vars := make([]*ad.Num, klDim)
+	for l := 0; l < klDim; l++ {
+		vars[l] = s.Var(theta[klGlobal[l]], l)
+	}
+	at := func(global int) *ad.Num { return vars[global-6] }
+
+	chi := ad.Softmax([]*ad.Num{at(model.ParamTypeStar), at(model.ParamTypeGal)})
+	priorChi := [2]float64{1 - priors.ProbGal, priors.ProbGal}
+
+	// KL of the type indicator.
+	var total *ad.Num
+	for t := 0; t < model.NumTypes; t++ {
+		term := ad.Mul(chi[t], ad.Sub(ad.Log(chi[t]),
+			s.Const(logc(priorChi[t]))))
+		if total == nil {
+			total = term
+		} else {
+			total = ad.Add(total, term)
+		}
+	}
+
+	for t := 0; t < model.NumTypes; t++ {
+		// KL of the log-normal brightness against the log-normal prior
+		// (normal KL on the log scale).
+		r1 := at(model.ParamR1 + t)
+		r2 := ad.Exp(at(model.ParamR2 + t))
+		pm := priors.R1Mean[t]
+		pv := priors.R1SD[t] * priors.R1SD[t]
+		d := ad.AddConst(r1, -pm)
+		klR := ad.Scale(0.5, ad.Add(
+			ad.Scale(1/pv, ad.Add(r2, ad.Sqr(d))),
+			ad.AddConst(ad.Neg(ad.Log(ad.Scale(1/pv, r2))), -1)))
+
+		// Categorical responsibilities against the prior mixture weights.
+		klogits := make([]*ad.Num, model.NumPriorComps)
+		for dd := 0; dd < model.NumPriorComps; dd++ {
+			klogits[dd] = at(model.ParamK + model.NumPriorComps*t + dd)
+		}
+		k := ad.Softmax(klogits)
+		var klK *ad.Num
+		for dd := 0; dd < model.NumPriorComps; dd++ {
+			term := ad.Mul(k[dd], ad.Sub(ad.Log(k[dd]),
+				s.Const(logc(priors.KWeight[t][dd]))))
+			if klK == nil {
+				klK = term
+			} else {
+				klK = ad.Add(klK, term)
+			}
+		}
+
+		// Colors: responsibility-weighted normal KLs against each prior
+		// component.
+		var klC *ad.Num
+		for dd := 0; dd < model.NumPriorComps; dd++ {
+			var comp *ad.Num
+			for i := 0; i < model.NumColors; i++ {
+				c1 := at(model.ParamC1 + 4*t + i)
+				c2 := ad.Exp(at(model.ParamC2 + 4*t + i))
+				pmc := priors.CMean[t][dd][i]
+				pvc := priors.CVar[t][dd][i]
+				dc := ad.AddConst(c1, -pmc)
+				term := ad.Scale(0.5, ad.Add(
+					ad.Scale(1/pvc, ad.Add(c2, ad.Sqr(dc))),
+					ad.AddConst(ad.Neg(ad.Log(ad.Scale(1/pvc, c2))), -1)))
+				if comp == nil {
+					comp = term
+				} else {
+					comp = ad.Add(comp, term)
+				}
+			}
+			weighted := ad.Mul(k[dd], comp)
+			if klC == nil {
+				klC = weighted
+			} else {
+				klC = ad.Add(klC, weighted)
+			}
+		}
+
+		inner := ad.Add(ad.Add(klR, klK), klC)
+		// The type-conditional KL is weighted by q(a=t) with a small floor:
+		// when one type's probability collapses, its brightness and color
+		// parameters would otherwise be untethered (zero gradient from both
+		// likelihood and KL) and could freeze at arbitrary values that later
+		// poison mixture summaries. The floor keeps them anchored to the
+		// prior at negligible cost to the bound.
+		total = ad.Add(total, ad.Mul(ad.AddConst(chi[t], klWeightFloor), inner))
+	}
+	return total
+}
+
+// klWeightFloor anchors the unused source type's parameters to the prior.
+const klWeightFloor = 1e-3
+
+func logc(p float64) float64 {
+	return math.Log(mathx.Clamp(p, mathx.Eps, 1))
+}
+
+// klValue computes the same KL total as computeKL without derivatives.
+func klValue(theta *model.Params, priors *model.Priors) float64 {
+	c := theta.Constrained()
+	chi := [2]float64{1 - c.ProbGal, c.ProbGal}
+	priorChi := [2]float64{1 - priors.ProbGal, priors.ProbGal}
+	total := mathx.KLBernoulli(chi[1], priorChi[1])
+	for t := 0; t < model.NumTypes; t++ {
+		inner := mathx.KLNormal(c.R1[t], c.R2[t], priors.R1Mean[t], priors.R1SD[t]*priors.R1SD[t])
+		inner += mathx.KLCategorical(c.K[t][:], priors.KWeight[t][:])
+		for dd := 0; dd < model.NumPriorComps; dd++ {
+			var comp float64
+			for i := 0; i < model.NumColors; i++ {
+				comp += mathx.KLNormal(c.C1[t][i], c.C2[t][i],
+					priors.CMean[t][dd][i], priors.CVar[t][dd][i])
+			}
+			inner += c.K[t][dd] * comp
+		}
+		total += (chi[t] + klWeightFloor) * inner
+	}
+	return total
+}
+
+// BuildEvaluator constructs the spatial dual evaluator for one patch at the
+// current shape parameters.
+func buildEvaluator(theta *model.Params, p *Patch) *mog.Evaluator {
+	return mog.NewEvaluator(p.PSF, expProf, devProf,
+		theta[model.ParamGalDevLogit], theta[model.ParamGalABLogit],
+		theta[model.ParamGalAngle], theta[model.ParamGalLogScale],
+		model.JacFromWCS(p.WCS))
+}

@@ -1,0 +1,38 @@
+// Package flops implements the paper's FLOP-accounting methodology
+// (Section VI-B): all floating-point work is tallied by counting "active
+// pixel visits" in the ELBO kernel and multiplying by a per-visit FLOP
+// constant measured once with the Intel Software Development Emulator,
+// times a fixed factor covering FLOPs outside the objective (the Newton
+// trust-region eigendecompositions and Cholesky factorizations).
+package flops
+
+// PerVisit is the paper's SDE-measured FLOPs per active pixel visit.
+const PerVisit = 32317
+
+// OutsideObjectiveFactor scales visit-derived FLOPs to include work outside
+// the objective evaluation (trust-region linear algebra), per Section VI-B.
+const OutsideObjectiveFactor = 1.375
+
+// Total returns the total FLOP count attributed to the given number of
+// active pixel visits.
+func Total(visits int64) float64 {
+	return float64(visits) * PerVisit * OutsideObjectiveFactor
+}
+
+// Rate returns FLOP/s for visits completed in the given wall time.
+func Rate(visits int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return Total(visits) / seconds
+}
+
+// TeraRate returns TFLOP/s.
+func TeraRate(visits int64, seconds float64) float64 {
+	return Rate(visits, seconds) / 1e12
+}
+
+// PetaRate returns PFLOP/s.
+func PetaRate(visits int64, seconds float64) float64 {
+	return Rate(visits, seconds) / 1e15
+}

@@ -1,0 +1,161 @@
+// Package galprof provides mixture-of-Gaussians approximations of the two
+// canonical galaxy radial profiles used by Celeste's generative model: the
+// exponential profile (disk galaxies) and the de Vaucouleurs profile
+// (elliptical galaxies). Representing both profiles as Gaussian mixtures is
+// what makes a galaxy's appearance — profile stretched by its shape matrix,
+// convolved with the image PSF — itself a Gaussian mixture that can be
+// evaluated in closed form per pixel (following Hogg & Lang's approach,
+// which the original Celeste adopts).
+//
+// The shipped constants in profiles_gen.go are produced by the EM fitter in
+// this package via cmd/profilefit; run `go run ./cmd/profilefit` to
+// regenerate them.
+package galprof
+
+import (
+	"math"
+
+	"celeste/internal/mog"
+)
+
+// bExp is the exponential profile shape constant: the profile
+// I(r) ∝ exp(-bExp·r) has half its flux inside r = 1.
+const bExp = 1.6783469900166605
+
+// bDev is the de Vaucouleurs shape constant for I(r) ∝ exp(-bDev·r^{1/4}).
+const bDev = 7.669249443233388
+
+// ExpTarget returns the exponential profile surface density at radius r
+// (in units of the half-light radius), normalized to unit total 2-D flux.
+func ExpTarget(r float64) float64 {
+	// ∫ (b²/2π) e^{-br} 2πr dr = 1.
+	return bExp * bExp / (2 * math.Pi) * math.Exp(-bExp*r)
+}
+
+// DevTarget returns the de Vaucouleurs profile surface density at radius r
+// (half-light radius units), normalized to unit total 2-D flux.
+func DevTarget(r float64) float64 {
+	// With t = b r^{1/4}: ∫ C e^{-t(r)} 2πr dr = 8πC·7!/b⁸ = 1.
+	c := math.Pow(bDev, 8) / (8 * math.Pi * 5040)
+	return c * math.Exp(-bDev*math.Pow(r, 0.25))
+}
+
+// EnclosedFlux returns the analytic flux of the mixture within radius r for
+// circular components (mass Σ w_j (1 - e^{-r²/2ν_j})).
+func EnclosedFlux(prof []mog.ProfComp, r float64) float64 {
+	var s float64
+	for _, pc := range prof {
+		s += pc.Weight * (1 - math.Exp(-r*r/(2*pc.Var)))
+	}
+	return s
+}
+
+// Density returns the mixture surface density at radius r.
+func Density(prof []mog.ProfComp, r float64) float64 {
+	var s float64
+	for _, pc := range prof {
+		s += pc.Weight / (2 * math.Pi * pc.Var) * math.Exp(-r*r/(2*pc.Var))
+	}
+	return s
+}
+
+// Fit approximates the circular profile target (a normalized 2-D surface
+// density as a function of radius) with k zero-mean circular Gaussian
+// components using expectation-maximization over a log-spaced radial grid
+// on [rmin, rmax]. The grid masses are target(r)·2πr·Δr, so EM maximizes the
+// flux-weighted log-likelihood, which concentrates accuracy where the flux
+// is. The returned weights are normalized to sum to one.
+func Fit(target func(float64) float64, k int, rmin, rmax float64, iters int) []mog.ProfComp {
+	const gridN = 400
+	// Log-spaced radii with trapezoid cell widths.
+	rs := make([]float64, gridN)
+	ms := make([]float64, gridN)
+	lr0, lr1 := math.Log(rmin), math.Log(rmax)
+	for i := 0; i < gridN; i++ {
+		lr := lr0 + (lr1-lr0)*float64(i)/float64(gridN-1)
+		rs[i] = math.Exp(lr)
+	}
+	var total float64
+	for i := 0; i < gridN; i++ {
+		var dr float64
+		switch i {
+		case 0:
+			dr = rs[1] - rs[0]
+		case gridN - 1:
+			dr = rs[gridN-1] - rs[gridN-2]
+		default:
+			dr = (rs[i+1] - rs[i-1]) / 2
+		}
+		ms[i] = target(rs[i]) * 2 * math.Pi * rs[i] * dr
+		total += ms[i]
+	}
+	for i := range ms {
+		ms[i] /= total
+	}
+
+	// Initialize variances geometrically across the radius range and weights
+	// uniformly.
+	prof := make([]mog.ProfComp, k)
+	for j := 0; j < k; j++ {
+		frac := (float64(j) + 0.5) / float64(k)
+		sigma := rmin / 2 * math.Pow(2*rmax/rmin, frac)
+		prof[j] = mog.ProfComp{Weight: 1 / float64(k), Var: sigma * sigma}
+	}
+
+	resp := make([]float64, k)
+	for it := 0; it < iters; it++ {
+		// Accumulators for the M step.
+		wSum := make([]float64, k)
+		r2Sum := make([]float64, k)
+		for i, r := range rs {
+			var denom float64
+			for j, pc := range prof {
+				// 2-D circular Gaussian density at radius r.
+				d := pc.Weight / (2 * math.Pi * pc.Var) * math.Exp(-r*r/(2*pc.Var))
+				resp[j] = d
+				denom += d
+			}
+			if denom <= 0 {
+				continue
+			}
+			mi := ms[i]
+			for j := range prof {
+				g := mi * resp[j] / denom
+				wSum[j] += g
+				r2Sum[j] += g * r * r
+			}
+		}
+		for j := range prof {
+			if wSum[j] <= 1e-300 {
+				continue
+			}
+			prof[j].Weight = wSum[j]
+			// For a 2-D circular Gaussian, E[r²] = 2ν.
+			prof[j].Var = r2Sum[j] / (2 * wSum[j])
+		}
+	}
+
+	// Normalize weights exactly.
+	var sw float64
+	for _, pc := range prof {
+		sw += pc.Weight
+	}
+	for j := range prof {
+		prof[j].Weight /= sw
+	}
+	return prof
+}
+
+// Exponential returns (a copy of) the shipped exponential-profile mixture.
+func Exponential() []mog.ProfComp {
+	out := make([]mog.ProfComp, len(expProfile))
+	copy(out, expProfile)
+	return out
+}
+
+// DeVaucouleurs returns (a copy of) the shipped de Vaucouleurs mixture.
+func DeVaucouleurs() []mog.ProfComp {
+	out := make([]mog.ProfComp, len(devProfile))
+	copy(out, devProfile)
+	return out
+}

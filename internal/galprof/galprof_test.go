@@ -1,0 +1,150 @@
+package galprof
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTargetNormalization(t *testing.T) {
+	// Numeric integral of each target over 2πr dr must be 1.
+	for _, tc := range []struct {
+		name   string
+		target func(float64) float64
+		rmax   float64
+	}{
+		{"exp", ExpTarget, 40},
+		{"dev", DevTarget, 4000},
+	} {
+		const n = 400000
+		var sum float64
+		dr := tc.rmax / n
+		for i := 0; i < n; i++ {
+			r := (float64(i) + 0.5) * dr
+			sum += tc.target(r) * 2 * math.Pi * r * dr
+		}
+		if math.Abs(sum-1) > 2e-3 {
+			t.Errorf("%s: total flux = %v, want 1", tc.name, sum)
+		}
+	}
+}
+
+func TestTargetHalfLightRadius(t *testing.T) {
+	// Half the flux must lie inside r = 1 for both targets.
+	for _, tc := range []struct {
+		name   string
+		target func(float64) float64
+		rmax   float64
+	}{
+		{"exp", ExpTarget, 1},
+		{"dev", DevTarget, 1},
+	} {
+		const n = 200000
+		var sum float64
+		dr := tc.rmax / n
+		for i := 0; i < n; i++ {
+			r := (float64(i) + 0.5) * dr
+			sum += tc.target(r) * 2 * math.Pi * r * dr
+		}
+		if math.Abs(sum-0.5) > 5e-3 {
+			t.Errorf("%s: flux inside r=1 is %v, want 0.5", tc.name, sum)
+		}
+	}
+}
+
+func TestShippedProfilesNormalized(t *testing.T) {
+	var wExp, wDev float64
+	for _, pc := range Exponential() {
+		if pc.Weight <= 0 || pc.Var <= 0 {
+			t.Fatalf("exp component not positive: %+v", pc)
+		}
+		wExp += pc.Weight
+	}
+	for _, pc := range DeVaucouleurs() {
+		if pc.Weight <= 0 || pc.Var <= 0 {
+			t.Fatalf("dev component not positive: %+v", pc)
+		}
+		wDev += pc.Weight
+	}
+	if math.Abs(wExp-1) > 1e-12 {
+		t.Errorf("exp weights sum to %v", wExp)
+	}
+	if math.Abs(wDev-1) > 1e-12 {
+		t.Errorf("dev weights sum to %v", wDev)
+	}
+}
+
+func TestShippedProfilesHalfLight(t *testing.T) {
+	// The MoG approximations must put roughly half their flux inside r = 1.
+	if got := EnclosedFlux(Exponential(), 1); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("exp enclosed flux at r=1: %v", got)
+	}
+	if got := EnclosedFlux(DeVaucouleurs(), 1); math.Abs(got-0.5) > 0.06 {
+		t.Errorf("dev enclosed flux at r=1: %v", got)
+	}
+}
+
+func TestShippedProfilesDensityAccuracy(t *testing.T) {
+	// Density of the fit tracks the target within modest relative error over
+	// the flux-carrying radius range.
+	check := func(name string, density func(float64) float64, target func(float64) float64,
+		rlo, rhi, tol float64) {
+		for r := rlo; r <= rhi; r *= 1.25 {
+			got := density(r)
+			want := target(r)
+			if relErr := math.Abs(got-want) / want; relErr > tol {
+				t.Errorf("%s: density at r=%.3f off by %.1f%% (got %v, want %v)",
+					name, r, relErr*100, got, want)
+			}
+		}
+	}
+	expP := Exponential()
+	devP := DeVaucouleurs()
+	check("exp", func(r float64) float64 { return Density(expP, r) }, ExpTarget, 0.1, 3.0, 0.15)
+	check("dev", func(r float64) float64 { return Density(devP, r) }, DevTarget, 0.1, 3.0, 0.25)
+}
+
+func TestEnclosedFluxMonotone(t *testing.T) {
+	prof := Exponential()
+	prev := 0.0
+	for r := 0.1; r < 10; r += 0.1 {
+		f := EnclosedFlux(prof, r)
+		if f < prev-1e-12 {
+			t.Fatalf("enclosed flux decreased at r=%v", r)
+		}
+		if f < 0 || f > 1+1e-9 {
+			t.Fatalf("enclosed flux out of range at r=%v: %v", r, f)
+		}
+		prev = f
+	}
+	if EnclosedFlux(prof, 50) < 0.999 {
+		t.Errorf("enclosed flux at r=50: %v", EnclosedFlux(prof, 50))
+	}
+}
+
+func TestFitConvergesOnGaussianTarget(t *testing.T) {
+	// Fitting a single Gaussian target with k=1 must recover its variance.
+	trueVar := 0.8
+	target := func(r float64) float64 {
+		return 1 / (2 * math.Pi * trueVar) * math.Exp(-r*r/(2*trueVar))
+	}
+	got := Fit(target, 1, 0.01, 8, 300)
+	if len(got) != 1 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if math.Abs(got[0].Weight-1) > 1e-9 {
+		t.Errorf("weight = %v", got[0].Weight)
+	}
+	if math.Abs(got[0].Var-trueVar) > 0.02 {
+		t.Errorf("variance = %v, want %v", got[0].Var, trueVar)
+	}
+}
+
+func TestDevProfileHasHeavierTail(t *testing.T) {
+	// The de Vaucouleurs profile has far more flux at large radii than the
+	// exponential; verify the MoGs preserve this qualitative ordering.
+	expTail := 1 - EnclosedFlux(Exponential(), 4)
+	devTail := 1 - EnclosedFlux(DeVaucouleurs(), 4)
+	if devTail <= expTail {
+		t.Errorf("tail mass: dev %v <= exp %v", devTail, expTail)
+	}
+}

@@ -1,0 +1,216 @@
+// Package imageio serializes survey frames and catalogs. Frames use a
+// compact little-endian binary format (the role SDSS's 12 MB FITS field
+// files play in the paper's Section IV-A: the on-disk unit that task
+// processing stages in). Catalogs serialize as JSON lines. The cluster
+// simulator prices loading these files through its Burst Buffer model;
+// cmd/skygen and cmd/celeste use this package to exchange a survey on disk.
+package imageio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"celeste/internal/geom"
+	"celeste/internal/model"
+	"celeste/internal/mog"
+	"celeste/internal/survey"
+)
+
+// magic identifies a Celeste frame file ("CELF" + version).
+var magic = [4]byte{'C', 'E', 'L', '1'}
+
+// WriteFrame serializes one image.
+func WriteFrame(w io.Writer, im *survey.Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	head := []interface{}{
+		int64(im.ID), int64(im.Run), int64(im.Field), int64(im.Band),
+		int64(im.W), int64(im.H),
+		im.WCS.RA0, im.WCS.Dec0, im.WCS.X0, im.WCS.Y0,
+		im.WCS.CD11, im.WCS.CD12, im.WCS.CD21, im.WCS.CD22,
+		im.Iota, im.Sky,
+		int64(len(im.PSF)),
+	}
+	for _, v := range head {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, c := range im.PSF {
+		if err := binary.Write(bw, binary.LittleEndian,
+			[6]float64{c.Weight, c.MuX, c.MuY, c.Sxx, c.Sxy, c.Syy}); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, im.Pixels); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadFrame deserializes one image.
+func ReadFrame(r io.Reader) (*survey.Image, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, err
+	}
+	if m != magic {
+		return nil, errors.New("imageio: bad magic; not a Celeste frame file")
+	}
+	var id, run, field, band, w, h int64
+	ints := []*int64{&id, &run, &field, &band, &w, &h}
+	for _, p := range ints {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	var wcsVals [8]float64
+	if err := binary.Read(br, binary.LittleEndian, &wcsVals); err != nil {
+		return nil, err
+	}
+	var iota, sky float64
+	if err := binary.Read(br, binary.LittleEndian, &iota); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &sky); err != nil {
+		return nil, err
+	}
+	var nPSF int64
+	if err := binary.Read(br, binary.LittleEndian, &nPSF); err != nil {
+		return nil, err
+	}
+	if nPSF < 0 || nPSF > 64 {
+		return nil, fmt.Errorf("imageio: implausible PSF component count %d", nPSF)
+	}
+	if w <= 0 || h <= 0 || w*h > 1<<28 {
+		return nil, fmt.Errorf("imageio: implausible frame size %dx%d", w, h)
+	}
+	im := &survey.Image{
+		ID: int(id), Run: int(run), Field: int(field), Band: int(band),
+		W: int(w), H: int(h),
+		WCS: geom.WCS{
+			RA0: wcsVals[0], Dec0: wcsVals[1], X0: wcsVals[2], Y0: wcsVals[3],
+			CD11: wcsVals[4], CD12: wcsVals[5], CD21: wcsVals[6], CD22: wcsVals[7],
+		},
+		Iota: iota, Sky: sky,
+		PSF:    make(mog.Mixture, nPSF),
+		Pixels: make([]float64, w*h),
+	}
+	for i := range im.PSF {
+		var c [6]float64
+		if err := binary.Read(br, binary.LittleEndian, &c); err != nil {
+			return nil, err
+		}
+		im.PSF[i] = mog.Component{Weight: c[0], MuX: c[1], MuY: c[2],
+			Sxx: c[3], Sxy: c[4], Syy: c[5]}
+	}
+	if err := binary.Read(br, binary.LittleEndian, &im.Pixels); err != nil {
+		return nil, err
+	}
+	return im, nil
+}
+
+// FrameFileName returns the canonical file name for an image, mirroring the
+// SDSS run-field-band naming convention.
+func FrameFileName(im *survey.Image) string {
+	return fmt.Sprintf("frame-%04d-%04d-%d.celf", im.Run, im.Field, im.Band)
+}
+
+// WriteSurveyDir writes every frame of a survey plus its truth catalog into
+// dir (created if absent).
+func WriteSurveyDir(dir string, sv *survey.Survey) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, im := range sv.Images {
+		f, err := os.Create(filepath.Join(dir, FrameFileName(im)))
+		if err != nil {
+			return err
+		}
+		if err := WriteFrame(f, im); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return WriteCatalog(filepath.Join(dir, "truth.jsonl"), sv.Truth)
+}
+
+// ReadSurveyDir loads all frames from dir; the truth catalog is returned if
+// present (nil otherwise).
+func ReadSurveyDir(dir string) ([]*survey.Image, []model.CatalogEntry, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var images []*survey.Image
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".celf" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, nil, err
+		}
+		im, err := ReadFrame(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		images = append(images, im)
+	}
+	var catalog []model.CatalogEntry
+	if cat, err := ReadCatalog(filepath.Join(dir, "truth.jsonl")); err == nil {
+		catalog = cat
+	}
+	return images, catalog, nil
+}
+
+// WriteCatalog writes catalog entries as JSON lines.
+func WriteCatalog(path string, entries []model.CatalogEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+	enc := json.NewEncoder(bw)
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCatalog reads JSON-lines catalog entries.
+func ReadCatalog(path string) ([]model.CatalogEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []model.CatalogEntry
+	dec := json.NewDecoder(bufio.NewReader(f))
+	for {
+		var e model.CatalogEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

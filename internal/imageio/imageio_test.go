@@ -1,0 +1,148 @@
+package imageio
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"celeste/internal/geom"
+	"celeste/internal/model"
+	"celeste/internal/mog"
+	"celeste/internal/survey"
+)
+
+func testImage() *survey.Image {
+	return &survey.Image{
+		ID: 7, Run: 3, Field: 2, Band: 4,
+		W: 8, H: 6,
+		WCS: geom.WCS{RA0: 150.1, Dec0: -0.3, X0: 4, Y0: 3,
+			CD11: 1.1e-4, CD12: 1e-6, CD21: -2e-6, CD22: 1.05e-4},
+		Iota: 98.5, Sky: 77.25,
+		PSF: mog.Mixture{
+			{Weight: 0.8, MuX: 0.1, MuY: -0.1, Sxx: 1.4, Sxy: 0.2, Syy: 1.2},
+			{Weight: 0.2, Sxx: 5, Syy: 4.5},
+		},
+		Pixels: func() []float64 {
+			p := make([]float64, 48)
+			for i := range p {
+				p[i] = float64(i*i%97) + 0.5
+			}
+			return p
+		}(),
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	im := testImage()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, im); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != im.ID || got.Run != im.Run || got.Field != im.Field || got.Band != im.Band {
+		t.Errorf("identity fields differ: %+v", got)
+	}
+	if got.WCS != im.WCS {
+		t.Errorf("WCS differs: %+v vs %+v", got.WCS, im.WCS)
+	}
+	if got.Iota != im.Iota || got.Sky != im.Sky {
+		t.Errorf("calibration differs")
+	}
+	if len(got.PSF) != len(im.PSF) {
+		t.Fatalf("PSF length %d", len(got.PSF))
+	}
+	for i := range got.PSF {
+		if got.PSF[i] != im.PSF[i] {
+			t.Errorf("PSF[%d] differs", i)
+		}
+	}
+	for i := range got.Pixels {
+		if got.Pixels[i] != im.Pixels[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	if _, err := ReadFrame(bytes.NewReader([]byte("not a frame file at all"))); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	// Truncated file after valid magic.
+	if _, err := ReadFrame(bytes.NewReader([]byte{'C', 'E', 'L', '1', 1, 2})); err == nil {
+		t.Error("expected error for truncated frame")
+	}
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cat.jsonl")
+	entries := []model.CatalogEntry{
+		{ID: 1, Pos: geom.Pt2{RA: 1.5, Dec: -2.5},
+			Flux: [model.NumBands]float64{1, 2, 3, 4, 5}},
+		{ID: 2, Pos: geom.Pt2{RA: 3, Dec: 4}, ProbGal: 1,
+			GalDevFrac: 0.3, GalAxisRatio: 0.7, GalAngle: 1.1, GalScale: 5e-4,
+			Flux: [model.NumBands]float64{2, 3, 4, 5, 6}},
+	}
+	if err := WriteCatalog(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCatalog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d entries", len(got))
+	}
+	for i := range entries {
+		if got[i].ID != entries[i].ID || got[i].Pos != entries[i].Pos ||
+			got[i].Flux != entries[i].Flux || got[i].GalScale != entries[i].GalScale {
+			t.Errorf("entry %d differs: %+v vs %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestSurveyDirRoundTrip(t *testing.T) {
+	cfg := survey.DefaultConfig(5)
+	cfg.Region = geom.NewBox(0, 0, 0.015, 0.015)
+	cfg.DeepRegion = geom.Box{}
+	cfg.DeepRuns = 0
+	cfg.Runs = 1
+	cfg.FieldW, cfg.FieldH = 64, 64
+	cfg.SourceDensity = 5000
+	sv := survey.Generate(cfg)
+
+	dir := t.TempDir()
+	if err := WriteSurveyDir(dir, sv); err != nil {
+		t.Fatal(err)
+	}
+	images, truth, err := ReadSurveyDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(images) != len(sv.Images) {
+		t.Fatalf("read %d images, wrote %d", len(images), len(sv.Images))
+	}
+	if len(truth) != len(sv.Truth) {
+		t.Fatalf("read %d truth entries, wrote %d", len(truth), len(sv.Truth))
+	}
+	// Frames round-trip bit-exactly; match by identity fields since
+	// directory order is lexical.
+	byName := make(map[string]*survey.Image)
+	for _, im := range sv.Images {
+		byName[FrameFileName(im)] = im
+	}
+	for _, im := range images {
+		want := byName[FrameFileName(im)]
+		if want == nil {
+			t.Fatalf("unexpected frame %s", FrameFileName(im))
+		}
+		for i := range im.Pixels {
+			if im.Pixels[i] != want.Pixels[i] {
+				t.Fatalf("pixels differ in %s", FrameFileName(im))
+			}
+		}
+	}
+}

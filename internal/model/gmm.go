@@ -1,0 +1,97 @@
+package model
+
+import (
+	"math"
+	"sort"
+
+	"celeste/internal/mathx"
+)
+
+// fitDiagGMM fits a k-component Gaussian mixture with diagonal covariances
+// to 4-dimensional color vectors by EM with a deterministic quantile
+// initialization (so prior fitting is reproducible without a seed).
+func fitDiagGMM(data [][NumColors]float64, k, iters int) (
+	weight [NumPriorComps]float64,
+	mean [NumPriorComps][NumColors]float64,
+	variance [NumPriorComps][NumColors]float64) {
+
+	n := len(data)
+	// Deterministic init: sort by first coordinate, take component means at
+	// evenly spaced quantiles; variances start at the global variance.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return data[order[a]][0] < data[order[b]][0] })
+
+	var gmean, gvar [NumColors]float64
+	for _, x := range data {
+		for i := 0; i < NumColors; i++ {
+			gmean[i] += x[i]
+		}
+	}
+	for i := 0; i < NumColors; i++ {
+		gmean[i] /= float64(n)
+	}
+	for _, x := range data {
+		for i := 0; i < NumColors; i++ {
+			d := x[i] - gmean[i]
+			gvar[i] += d * d
+		}
+	}
+	for i := 0; i < NumColors; i++ {
+		gvar[i] = math.Max(gvar[i]/float64(n), 1e-4)
+	}
+
+	for j := 0; j < k; j++ {
+		weight[j] = 1.0 / float64(k)
+		q := order[(2*j+1)*n/(2*k)]
+		mean[j] = data[q]
+		variance[j] = gvar
+	}
+
+	const varFloor = 1e-4
+	logResp := make([]float64, k)
+	for it := 0; it < iters; it++ {
+		var wSum [NumPriorComps]float64
+		var xSum, x2Sum [NumPriorComps][NumColors]float64
+		for _, x := range data {
+			for j := 0; j < k; j++ {
+				lp := math.Log(math.Max(weight[j], 1e-300))
+				for i := 0; i < NumColors; i++ {
+					lp += mathx.NormalLogPDF(x[i], mean[j][i], math.Sqrt(variance[j][i]))
+				}
+				logResp[j] = lp
+			}
+			lse := mathx.LogSumExp(logResp)
+			for j := 0; j < k; j++ {
+				g := math.Exp(logResp[j] - lse)
+				wSum[j] += g
+				for i := 0; i < NumColors; i++ {
+					xSum[j][i] += g * x[i]
+					x2Sum[j][i] += g * x[i] * x[i]
+				}
+			}
+		}
+		for j := 0; j < k; j++ {
+			if wSum[j] < 1e-8 {
+				continue // starved component keeps its parameters
+			}
+			weight[j] = wSum[j] / float64(n)
+			for i := 0; i < NumColors; i++ {
+				mu := xSum[j][i] / wSum[j]
+				mean[j][i] = mu
+				variance[j][i] = math.Max(x2Sum[j][i]/wSum[j]-mu*mu, varFloor)
+			}
+		}
+	}
+	// Renormalize weights exactly.
+	var tw float64
+	for j := 0; j < k; j++ {
+		tw += weight[j]
+	}
+	for j := 0; j < k; j++ {
+		weight[j] /= tw
+	}
+	return
+}

@@ -1,0 +1,218 @@
+// Package model defines Celeste's statistical model: the 44-parameter
+// description of one light source (Section III of the paper), the prior
+// distributions Φ, Υ, Ξ learned from preexisting catalogs, band-flux moments
+// under the variational posterior, catalog entries, and image synthesis from
+// the generative model.
+//
+// Every light source s carries:
+//
+//   - a_s: star vs. galaxy indicator (Bernoulli; variational posterior is a
+//     2-way softmax, 2 parameters);
+//   - r_s: reference-band flux (log-normal; 2 parameters per source type);
+//   - c_s: four colors, the log flux ratios of adjacent bands (normal with
+//     diagonal covariance; 4 means + 4 variances per type);
+//   - k_s: responsibilities over the 8-component color-prior mixture
+//     (categorical; 8 parameters per type);
+//   - μ_s: sky position (2 parameters, point-estimated);
+//   - φ_s: galaxy shape — de Vaucouleurs mixture fraction, minor/major axis
+//     ratio, orientation angle, half-light radius (4 parameters,
+//     point-estimated).
+//
+// Total: 2 + 2 + 2·2 + 2·(4+4) + 2·8 + 4 = 44, matching the paper's count.
+// Parameters are stored in a single unconstrained vector (logit/log/softmax
+// transforms applied) so the Newton trust-region optimizer can treat the
+// block as a free 44-dimensional variable.
+package model
+
+import (
+	"math"
+
+	"celeste/internal/geom"
+	"celeste/internal/mathx"
+)
+
+// Model-wide dimensions.
+const (
+	NumBands      = 5 // SDSS ugriz
+	RefBand       = 2 // the r band anchors brightness
+	NumColors     = NumBands - 1
+	NumTypes      = 2 // star, galaxy
+	NumPriorComps = 8 // components of the color-prior mixture per type
+	ParamDim      = 44
+)
+
+// Source types.
+const (
+	Star = 0
+	Gal  = 1
+)
+
+// Unconstrained parameter vector layout.
+const (
+	ParamRA          = 0  // position, degrees (unconstrained)
+	ParamDec         = 1  //
+	ParamGalDevLogit = 2  // galaxy profile mix: logit of the deV fraction
+	ParamGalABLogit  = 3  // galaxy axis ratio: logit
+	ParamGalAngle    = 4  // orientation, radians (unconstrained, mod π)
+	ParamGalLogScale = 5  // log half-light radius (log degrees)
+	ParamTypeStar    = 6  // softmax pair over {star, galaxy}
+	ParamTypeGal     = 7  //
+	ParamR1          = 8  // +t: log-normal location of reference flux, type t
+	ParamR2          = 10 // +t: log of the log-normal variance, type t
+	ParamC1          = 12 // +4t+i: color mean i for type t
+	ParamC2          = 20 // +4t+i: log color variance i for type t
+	ParamK           = 28 // +8t+d: color-prior responsibility logits
+)
+
+// Params is the unconstrained 44-vector for one light source.
+type Params [ParamDim]float64
+
+// Constrained is the human-readable, constrained view of Params.
+type Constrained struct {
+	Pos geom.Pt2
+
+	// Galaxy shape (point estimates).
+	GalDevFrac   float64 // ρ ∈ (0,1): weight on the de Vaucouleurs profile
+	GalAxisRatio float64 // ∈ (0,1): minor/major
+	GalAngle     float64 // radians in [0, π)
+	GalScale     float64 // half-light radius, degrees
+
+	ProbGal float64 // q(a_s = galaxy)
+
+	R1 [NumTypes]float64                // log-normal location of ref flux
+	R2 [NumTypes]float64                // log-normal variance (>0)
+	C1 [NumTypes][NumColors]float64     // color means
+	C2 [NumTypes][NumColors]float64     // color variances (>0)
+	K  [NumTypes][NumPriorComps]float64 // simplex responsibilities
+}
+
+// Constrained converts the unconstrained vector to its constrained view.
+func (p *Params) Constrained() Constrained {
+	var c Constrained
+	c.Pos = geom.Pt2{RA: p[ParamRA], Dec: p[ParamDec]}
+	c.GalDevFrac = mathx.Logistic(p[ParamGalDevLogit])
+	c.GalAxisRatio = mathx.Logistic(p[ParamGalABLogit])
+	c.GalAngle = mathx.WrapAngle(p[ParamGalAngle])
+	c.GalScale = math.Exp(p[ParamGalLogScale])
+	sm := make([]float64, 2)
+	mathx.Softmax(sm, []float64{p[ParamTypeStar], p[ParamTypeGal]})
+	c.ProbGal = sm[1]
+	for t := 0; t < NumTypes; t++ {
+		c.R1[t] = p[ParamR1+t]
+		c.R2[t] = math.Exp(p[ParamR2+t])
+		for i := 0; i < NumColors; i++ {
+			c.C1[t][i] = p[ParamC1+4*t+i]
+			c.C2[t][i] = math.Exp(p[ParamC2+4*t+i])
+		}
+		ks := make([]float64, NumPriorComps)
+		for d := 0; d < NumPriorComps; d++ {
+			ks[d] = p[ParamK+NumPriorComps*t+d]
+		}
+		out := make([]float64, NumPriorComps)
+		mathx.Softmax(out, ks)
+		copy(c.K[t][:], out)
+	}
+	return c
+}
+
+// FromConstrained builds the unconstrained vector from a constrained view.
+// The softmax parameterizations are centered (log probabilities), so
+// Constrained∘FromConstrained is the identity on valid inputs.
+func FromConstrained(c Constrained) Params {
+	var p Params
+	p[ParamRA] = c.Pos.RA
+	p[ParamDec] = c.Pos.Dec
+	p[ParamGalDevLogit] = mathx.Logit(c.GalDevFrac)
+	p[ParamGalABLogit] = mathx.Logit(c.GalAxisRatio)
+	p[ParamGalAngle] = c.GalAngle
+	p[ParamGalLogScale] = math.Log(c.GalScale)
+	pg := mathx.Clamp(c.ProbGal, mathx.Eps, 1-mathx.Eps)
+	p[ParamTypeStar] = math.Log(1 - pg)
+	p[ParamTypeGal] = math.Log(pg)
+	for t := 0; t < NumTypes; t++ {
+		p[ParamR1+t] = c.R1[t]
+		p[ParamR2+t] = math.Log(c.R2[t])
+		for i := 0; i < NumColors; i++ {
+			p[ParamC1+4*t+i] = c.C1[t][i]
+			p[ParamC2+4*t+i] = math.Log(c.C2[t][i])
+		}
+		for d := 0; d < NumPriorComps; d++ {
+			p[ParamK+NumPriorComps*t+d] = math.Log(mathx.Clamp(c.K[t][d], mathx.Eps, 1))
+		}
+	}
+	return p
+}
+
+// BandCoeff[b][i] gives the coefficient of color i in log flux of band b
+// relative to the reference band: log ℓ_b = log r + Σ_i BandCoeff[b][i]·c_i.
+// Color i is defined between bands i and i+1 (c_i = log ℓ_{i+1} - log ℓ_i).
+var BandCoeff = func() [NumBands][NumColors]float64 {
+	var bc [NumBands][NumColors]float64
+	for b := 0; b < NumBands; b++ {
+		switch {
+		case b >= RefBand:
+			for i := RefBand; i < b; i++ {
+				bc[b][i] = 1
+			}
+		default:
+			for i := b; i < RefBand; i++ {
+				bc[b][i] = -1
+			}
+		}
+	}
+	return bc
+}()
+
+// FluxMoments returns the first and second moments of each band's flux under
+// the variational posterior for one source type: log ℓ_b is normal with mean
+// r1 + β_b·c1 and variance r2 + Σ β² c2.
+func FluxMoments(r1, r2 float64, c1, c2 [NumColors]float64) (m1, m2 [NumBands]float64) {
+	for b := 0; b < NumBands; b++ {
+		m := r1
+		v := r2
+		for i := 0; i < NumColors; i++ {
+			beta := BandCoeff[b][i]
+			m += beta * c1[i]
+			v += beta * beta * c2[i]
+		}
+		m1[b] = math.Exp(m + v/2)
+		m2[b] = math.Exp(2*m + 2*v)
+	}
+	return
+}
+
+// ExpectedFluxes returns E[ℓ_b] for every band, mixing source types by
+// ProbGal.
+func (c *Constrained) ExpectedFluxes() [NumBands]float64 {
+	m1s, _ := FluxMoments(c.R1[Star], c.R2[Star], c.C1[Star], c.C2[Star])
+	m1g, _ := FluxMoments(c.R1[Gal], c.R2[Gal], c.C1[Gal], c.C2[Gal])
+	var out [NumBands]float64
+	for b := 0; b < NumBands; b++ {
+		out[b] = (1-c.ProbGal)*m1s[b] + c.ProbGal*m1g[b]
+	}
+	return out
+}
+
+// ColorsFromFluxes converts a positive flux vector to the color vector
+// (log ratios of adjacent bands).
+func ColorsFromFluxes(flux [NumBands]float64) [NumColors]float64 {
+	var c [NumColors]float64
+	for i := 0; i < NumColors; i++ {
+		c[i] = math.Log(flux[i+1] / flux[i])
+	}
+	return c
+}
+
+// FluxesFromColors reconstructs band fluxes from a reference-band flux and
+// colors.
+func FluxesFromColors(refFlux float64, c [NumColors]float64) [NumBands]float64 {
+	var f [NumBands]float64
+	f[RefBand] = refFlux
+	for b := RefBand + 1; b < NumBands; b++ {
+		f[b] = f[b-1] * math.Exp(c[b-1])
+	}
+	for b := RefBand - 1; b >= 0; b-- {
+		f[b] = f[b+1] * math.Exp(-c[b])
+	}
+	return f
+}

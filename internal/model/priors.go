@@ -1,0 +1,200 @@
+package model
+
+import (
+	"math"
+
+	"celeste/internal/geom"
+	"celeste/internal/rng"
+)
+
+// Priors holds the model's prior distributions: Φ (source type), Υ
+// (reference-band flux, log-normal per type), and Ξ (color, a mixture of
+// NumPriorComps diagonal Gaussians per type). The paper learns these from
+// preexisting astronomical catalogs; FitPriors does the same from any
+// catalog slice. The galaxy-shape fields are used when sampling synthetic
+// skies (shape parameters are point-estimated during inference, so they
+// need no prior term in the ELBO).
+type Priors struct {
+	ProbGal float64 // P(a_s = galaxy)
+
+	R1Mean [NumTypes]float64 // mean of log reference flux
+	R1SD   [NumTypes]float64 // SD of log reference flux
+
+	KWeight [NumTypes][NumPriorComps]float64            // mixture weights
+	CMean   [NumTypes][NumPriorComps][NumColors]float64 // component means
+	CVar    [NumTypes][NumPriorComps][NumColors]float64 // diagonal variances
+
+	// Shape population used by the synthetic-sky sampler.
+	GalScaleLogMean float64 // mean of log half-light radius (log degrees)
+	GalScaleLogSD   float64
+	GalDevAlpha     float64 // Beta parameters for the deV mixture fraction
+	GalDevBeta      float64
+	GalABAlpha      float64 // Beta parameters for the axis ratio
+	GalABBeta       float64
+}
+
+// DefaultPriors returns hand-set priors resembling the SDSS population:
+// mostly faint sources, star colors clustered on the stellar locus, galaxy
+// colors broader and redder.
+func DefaultPriors() Priors {
+	var p Priors
+	p.ProbGal = 0.4
+	p.R1Mean = [NumTypes]float64{math.Log(2.0), math.Log(3.0)}
+	p.R1SD = [NumTypes]float64{1.2, 1.3}
+
+	// Color prior components: spread along plausible loci. Real priors come
+	// from FitPriors; these defaults keep the model proper before fitting.
+	starLocus := [NumColors]float64{1.2, 0.5, 0.2, 0.1}
+	galLocus := [NumColors]float64{1.5, 0.8, 0.45, 0.35}
+	for t := 0; t < NumTypes; t++ {
+		locus := starLocus
+		if t == Gal {
+			locus = galLocus
+		}
+		for d := 0; d < NumPriorComps; d++ {
+			p.KWeight[t][d] = 1.0 / NumPriorComps
+			shift := (float64(d) - float64(NumPriorComps-1)/2) * 0.25
+			for i := 0; i < NumColors; i++ {
+				p.CMean[t][d][i] = locus[i] + shift*(1-0.15*float64(i))
+				p.CVar[t][d][i] = 0.09
+			}
+		}
+	}
+
+	p.GalScaleLogMean = math.Log(1.8 / 3600) // ~1.8 arcsec
+	p.GalScaleLogSD = 0.45
+	p.GalDevAlpha, p.GalDevBeta = 0.8, 0.8
+	p.GalABAlpha, p.GalABBeta = 2.0, 1.5
+	return p
+}
+
+// FitPriors learns priors from an existing catalog, as the paper's
+// preprocessing does with SDSS catalogs: the type fraction, per-type
+// log-flux moments, a color mixture fitted by EM, and the galaxy shape
+// population.
+func FitPriors(entries []CatalogEntry) Priors {
+	p := DefaultPriors()
+	if len(entries) == 0 {
+		return p
+	}
+	var nGal float64
+	var logFlux [NumTypes][]float64
+	var colors [NumTypes][][NumColors]float64
+	var logScale []float64
+	var devFrac, abRatio []float64
+	for i := range entries {
+		e := &entries[i]
+		t := Star
+		if e.IsGal() {
+			t = Gal
+			nGal++
+			if e.GalScale > 0 {
+				logScale = append(logScale, math.Log(e.GalScale))
+			}
+			devFrac = append(devFrac, clampUnit(e.GalDevFrac))
+			abRatio = append(abRatio, clampUnit(e.GalAxisRatio))
+		}
+		if e.Flux[RefBand] > 0 {
+			logFlux[t] = append(logFlux[t], math.Log(e.Flux[RefBand]))
+		}
+		ok := true
+		for b := 0; b < NumBands; b++ {
+			if e.Flux[b] <= 0 {
+				ok = false
+			}
+		}
+		if ok {
+			colors[t] = append(colors[t], e.Colors())
+		}
+	}
+	p.ProbGal = clampUnit(nGal / float64(len(entries)))
+
+	for t := 0; t < NumTypes; t++ {
+		if m, sd, ok := meanSD(logFlux[t]); ok {
+			p.R1Mean[t] = m
+			p.R1SD[t] = math.Max(sd, 0.1)
+		}
+		if len(colors[t]) >= 4*NumPriorComps {
+			w, mu, va := fitDiagGMM(colors[t], NumPriorComps, 60)
+			p.KWeight[t] = w
+			p.CMean[t] = mu
+			p.CVar[t] = va
+		}
+	}
+	if m, sd, ok := meanSD(logScale); ok {
+		p.GalScaleLogMean = m
+		p.GalScaleLogSD = math.Max(sd, 0.05)
+	}
+	if a, b, ok := betaMoments(devFrac); ok {
+		p.GalDevAlpha, p.GalDevBeta = a, b
+	}
+	if a, b, ok := betaMoments(abRatio); ok {
+		p.GalABAlpha, p.GalABBeta = a, b
+	}
+	return p
+}
+
+func meanSD(xs []float64) (mean, sd float64, ok bool) {
+	if len(xs) < 2 {
+		return 0, 0, false
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	mean = s / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd = math.Sqrt(ss / float64(len(xs)-1))
+	return mean, sd, true
+}
+
+// betaMoments fits Beta(α, β) by the method of moments.
+func betaMoments(xs []float64) (alpha, beta float64, ok bool) {
+	m, sd, ok := meanSD(xs)
+	if !ok || sd <= 0 {
+		return 0, 0, false
+	}
+	v := sd * sd
+	if v >= m*(1-m) {
+		return 0, 0, false
+	}
+	common := m*(1-m)/v - 1
+	return m * common, (1 - m) * common, true
+}
+
+// Sample draws one light source from the priors (used to synthesize skies).
+func (p *Priors) Sample(r *rng.Source, id int, pos geom.Pt2) CatalogEntry {
+	var e CatalogEntry
+	e.ID = id
+	e.Pos = pos
+	isGal := r.Float64() < p.ProbGal
+	t := Star
+	if isGal {
+		t = Gal
+		e.ProbGal = 1
+	}
+	refFlux := r.LogNormal(p.R1Mean[t], p.R1SD[t])
+	d := r.Categorical(p.KWeight[t][:])
+	var c [NumColors]float64
+	for i := 0; i < NumColors; i++ {
+		c[i] = r.NormalMV(p.CMean[t][d][i], math.Sqrt(p.CVar[t][d][i]))
+	}
+	e.Flux = FluxesFromColors(refFlux, c)
+	if isGal {
+		e.GalDevFrac = betaSample(r, p.GalDevAlpha, p.GalDevBeta)
+		e.GalAxisRatio = math.Max(betaSample(r, p.GalABAlpha, p.GalABBeta), 0.05)
+		e.GalAngle = r.Float64() * math.Pi
+		e.GalScale = r.LogNormal(p.GalScaleLogMean, p.GalScaleLogSD)
+	}
+	return e
+}
+
+func betaSample(r *rng.Source, a, b float64) float64 {
+	x := r.Gamma(a, 1)
+	y := r.Gamma(b, 1)
+	return x / (x + y)
+}

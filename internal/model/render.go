@@ -1,0 +1,94 @@
+package model
+
+import (
+	"math"
+
+	"celeste/internal/galprof"
+	"celeste/internal/geom"
+	"celeste/internal/mog"
+)
+
+// JacFromWCS returns the world→pixel Jacobian of an affine WCS (the inverse
+// of its CD matrix).
+func JacFromWCS(w geom.WCS) mog.Jac2 {
+	det := w.CD11*w.CD22 - w.CD12*w.CD21
+	if det == 0 {
+		panic("model: singular WCS")
+	}
+	inv := 1 / det
+	return mog.Jac2{
+		A11: w.CD22 * inv, A12: -w.CD12 * inv,
+		A21: -w.CD21 * inv, A22: w.CD11 * inv,
+	}
+}
+
+// SourceMixture returns the pixel-space appearance mixture of a catalog
+// entry on an image with the given WCS and PSF: a weighted PSF for a star, a
+// profile-convolved mixture for a galaxy (deV fraction mixing the two
+// canonical profiles). The mixture is centered at the source's pixel
+// position and integrates to 1 over pixels; multiply by band flux × iota to
+// get expected counts.
+func SourceMixture(e *CatalogEntry, w geom.WCS, psf mog.Mixture) mog.Mixture {
+	px, py := w.WorldToPix(e.Pos)
+	if !e.IsGal() {
+		return psf.Shift(px, py)
+	}
+	rho := clampUnit(e.GalDevFrac)
+	var comb []mog.ProfComp
+	for _, pc := range galprof.Exponential() {
+		comb = append(comb, mog.ProfComp{Weight: (1 - rho) * pc.Weight, Var: pc.Var})
+	}
+	for _, pc := range galprof.DeVaucouleurs() {
+		comb = append(comb, mog.ProfComp{Weight: rho * pc.Weight, Var: pc.Var})
+	}
+	m := mog.GalaxyMixture(psf, comb, math.Max(e.GalAxisRatio, 0.05), e.GalAngle,
+		math.Max(e.GalScale, 1e-7), JacFromWCS(w))
+	return m.Shift(px, py)
+}
+
+// RenderRadiusPx returns a pixel radius that contains essentially all of a
+// mixture's flux (largest component sigma times nSigma plus mean offset
+// from the source position).
+func RenderRadiusPx(m mog.Mixture, cx, cy, nSigma float64) float64 {
+	var r float64
+	for _, c := range m {
+		// Spectral bound on the largest covariance eigenvalue.
+		tr := c.Sxx + c.Syy
+		disc := math.Sqrt(math.Max((c.Sxx-c.Syy)*(c.Sxx-c.Syy)+4*c.Sxy*c.Sxy, 0))
+		lmax := (tr + disc) / 2
+		cand := nSigma*math.Sqrt(lmax) + math.Hypot(c.MuX-cx, c.MuY-cy)
+		if cand > r {
+			r = cand
+		}
+	}
+	return r
+}
+
+// AddExpectedCounts accumulates flux·iota·density into the pixel buffer for
+// the given band. buf is row-major with stride width. Evaluation is clipped
+// to a bounding circle of nSigma standard deviations for speed.
+func AddExpectedCounts(buf []float64, width, height int, w geom.WCS,
+	psf mog.Mixture, e *CatalogEntry, band int, iota float64, nSigma float64) {
+
+	flux := e.Flux[band]
+	if flux <= 0 {
+		return
+	}
+	m := SourceMixture(e, w, psf)
+	px, py := w.WorldToPix(e.Pos)
+	rad := RenderRadiusPx(m, px, py, nSigma)
+	rect := geom.PixRect{
+		X0: int(math.Floor(px - rad)), Y0: int(math.Floor(py - rad)),
+		X1: int(math.Ceil(px+rad)) + 1, Y1: int(math.Ceil(py+rad)) + 1,
+	}.Clip(width, height)
+	if rect.Empty() {
+		return
+	}
+	amp := flux * iota
+	for y := rect.Y0; y < rect.Y1; y++ {
+		row := buf[y*width : (y+1)*width]
+		for x := rect.X0; x < rect.X1; x++ {
+			row[x] += amp * m.Eval(float64(x), float64(y))
+		}
+	}
+}

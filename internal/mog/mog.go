@@ -1,0 +1,342 @@
+// Package mog implements the two-dimensional Gaussian mixtures at the heart
+// of Celeste's optical model. A point source appears on an image as the
+// point-spread function (a small Gaussian mixture fitted per image); a galaxy
+// appears as its intrinsic profile (itself approximated by a Gaussian
+// mixture, see internal/galprof) convolved with the PSF. Because Gaussian
+// mixtures are closed under convolution, every light source's appearance is
+// again a Gaussian mixture, evaluated pixel by pixel.
+//
+// The package provides plain float64 evaluation (used when synthesizing
+// images) and a dual-number evaluator that carries first and second
+// derivatives with respect to the six spatial parameters of a source (used
+// by the ELBO hot path; see internal/dual for the coordinate convention).
+package mog
+
+import (
+	"math"
+
+	"celeste/internal/dual"
+)
+
+// Component is one weighted 2-D Gaussian: Weight * N([x y]; Mu, Sigma).
+// The density normalizes over the coordinate units of Sigma, so a mixture
+// with covariances in pixels^2 integrates to Weight over the pixel grid.
+type Component struct {
+	Weight        float64
+	MuX, MuY      float64
+	Sxx, Sxy, Syy float64
+}
+
+// Eval returns the weighted density at (x, y).
+func (c Component) Eval(x, y float64) float64 {
+	det := c.Sxx*c.Syy - c.Sxy*c.Sxy
+	dx, dy := x-c.MuX, y-c.MuY
+	q := (c.Syy*dx*dx - 2*c.Sxy*dx*dy + c.Sxx*dy*dy) / det
+	return c.Weight / (2 * math.Pi * math.Sqrt(det)) * math.Exp(-0.5*q)
+}
+
+// Mixture is a sum of weighted Gaussian components.
+type Mixture []Component
+
+// Eval returns the mixture density at (x, y).
+func (m Mixture) Eval(x, y float64) float64 {
+	var s float64
+	for _, c := range m {
+		s += c.Eval(x, y)
+	}
+	return s
+}
+
+// TotalWeight returns the sum of component weights (the mixture's integral).
+func (m Mixture) TotalWeight() float64 {
+	var s float64
+	for _, c := range m {
+		s += c.Weight
+	}
+	return s
+}
+
+// Shift returns the mixture translated by (dx, dy).
+func (m Mixture) Shift(dx, dy float64) Mixture {
+	out := make(Mixture, len(m))
+	for i, c := range m {
+		c.MuX += dx
+		c.MuY += dy
+		out[i] = c
+	}
+	return out
+}
+
+// Normalize returns the mixture rescaled to total weight 1. It panics if the
+// total weight is not positive.
+func (m Mixture) Normalize() Mixture {
+	tw := m.TotalWeight()
+	if tw <= 0 {
+		panic("mog: cannot normalize non-positive mixture")
+	}
+	out := make(Mixture, len(m))
+	for i, c := range m {
+		c.Weight /= tw
+		out[i] = c
+	}
+	return out
+}
+
+// Convolve returns the convolution of two mixtures: the pairwise component
+// products with weights multiplied, means added, covariances added.
+func Convolve(a, b Mixture) Mixture {
+	out := make(Mixture, 0, len(a)*len(b))
+	for _, ca := range a {
+		for _, cb := range b {
+			out = append(out, Component{
+				Weight: ca.Weight * cb.Weight,
+				MuX:    ca.MuX + cb.MuX,
+				MuY:    ca.MuY + cb.MuY,
+				Sxx:    ca.Sxx + cb.Sxx,
+				Sxy:    ca.Sxy + cb.Sxy,
+				Syy:    ca.Syy + cb.Syy,
+			})
+		}
+	}
+	return out
+}
+
+// ProfComp is one circular component of a galaxy radial-profile mixture:
+// a Gaussian with variance Var (in units of the squared half-light radius)
+// and mass Weight.
+type ProfComp struct {
+	Weight, Var float64
+}
+
+// GalaxyCov returns the world-coordinate covariance of a galaxy with
+// half-light radius sigma (degrees), minor/major axis ratio ab in (0, 1],
+// and position angle radians (measured from the +RA axis toward +Dec).
+func GalaxyCov(ab, angle, sigma float64) (w11, w12, w22 float64) {
+	a := sigma * sigma
+	b := a * ab * ab
+	s, c := math.Sincos(angle)
+	w11 = a*c*c + b*s*s
+	w12 = (a - b) * s * c
+	w22 = a*s*s + b*c*c
+	return
+}
+
+// Jac2 is a constant 2x2 Jacobian (world -> pixel).
+type Jac2 struct {
+	A11, A12, A21, A22 float64
+}
+
+// Apply transforms a world covariance to pixel coordinates: J W Jᵀ.
+func (j Jac2) Apply(w11, w12, w22 float64) (p11, p12, p22 float64) {
+	// Row 1 of J*W: (A11*w11 + A12*w12, A11*w12 + A12*w22)
+	t11 := j.A11*w11 + j.A12*w12
+	t12 := j.A11*w12 + j.A12*w22
+	t21 := j.A21*w11 + j.A22*w12
+	t22 := j.A21*w12 + j.A22*w22
+	p11 = t11*j.A11 + t12*j.A12
+	p12 = t11*j.A21 + t12*j.A22
+	p22 = t21*j.A21 + t22*j.A22
+	return
+}
+
+// GalaxyMixture returns the pixel-space appearance mixture of a galaxy:
+// profile components (unit total mass scaled by their weights) stretched by
+// the shape covariance, transformed by jac, convolved with the PSF.
+// The result integrates (over pixels) to prof's total weight times the PSF's
+// total weight.
+func GalaxyMixture(psf Mixture, prof []ProfComp, ab, angle, sigma float64, jac Jac2) Mixture {
+	w11, w12, w22 := GalaxyCov(ab, angle, sigma)
+	p11, p12, p22 := jac.Apply(w11, w12, w22)
+	gal := make(Mixture, len(prof))
+	for i, pc := range prof {
+		gal[i] = Component{
+			Weight: pc.Weight,
+			Sxx:    pc.Var * p11,
+			Sxy:    pc.Var * p12,
+			Syy:    pc.Var * p22,
+		}
+	}
+	return Convolve(gal, psf)
+}
+
+// DualComp is a precomputed Gaussian component whose normalization K and
+// precision entries Q carry derivatives with respect to the source's
+// spatial parameters. MuX, MuY are constant pixel offsets (the PSF component
+// means).
+type DualComp struct {
+	K             dual.Dual
+	Q11, Q12, Q22 dual.Dual
+	MuX, MuY      float64
+}
+
+// Evaluator evaluates a source's star and galaxy spatial densities at pixel
+// offsets from the source center, carrying derivatives w.r.t. the six
+// unconstrained spatial parameters. Build one per (source, image) pair per
+// Newton iteration; evaluation is then allocation-free per pixel.
+type Evaluator struct {
+	Star []DualComp
+	Gal  []DualComp
+	jac  Jac2
+}
+
+// NewStarOnlyEvaluator builds an evaluator with no galaxy components
+// (used when a source is modeled as a certain star).
+func NewStarOnlyEvaluator(psf Mixture, jac Jac2) *Evaluator {
+	return &Evaluator{Star: starComps(psf), jac: jac}
+}
+
+// NewEvaluator builds star and galaxy components for one source on one
+// image. The galaxy's unconstrained shape parameters are the dual variables
+// 3 (axis-ratio logit), 4 (angle), 5 (log half-light radius in degrees);
+// variable 2 (profile mix) does not enter the spatial density — the
+// exponential and de Vaucouleurs parts are kept as separate weighted
+// component lists whose relative weight internal/elbo applies via the
+// profile-mix dual. Here expProf and devProf are combined with the current
+// mixing weight carried on the K duals.
+func NewEvaluator(psf Mixture, expProf, devProf []ProfComp,
+	rhoLogit, abLogit, angle, logScale float64, jac Jac2) *Evaluator {
+
+	e := &Evaluator{Star: starComps(psf), jac: jac}
+
+	rho := dual.Logistic(dual.Var(rhoLogit, 2))
+	ab := dual.Logistic(dual.Var(abLogit, 3))
+	th := dual.Var(angle, 4)
+	sigma := dual.Exp(dual.Var(logScale, 5))
+
+	// World covariance W = R diag(s^2, (s*ab)^2) Rᵀ.
+	a := dual.Sqr(sigma)
+	b := dual.Mul(a, dual.Sqr(ab))
+	s := dual.Sin(th)
+	c := dual.Cos(th)
+	s2 := dual.Sqr(s)
+	c2 := dual.Sqr(c)
+	w11 := dual.Add(dual.Mul(a, c2), dual.Mul(b, s2))
+	w12 := dual.Mul(dual.Sub(a, b), dual.Mul(s, c))
+	w22 := dual.Add(dual.Mul(a, s2), dual.Mul(b, c2))
+
+	// Pixel covariance P = J W Jᵀ.
+	t11 := dual.Add(dual.Scale(jac.A11, w11), dual.Scale(jac.A12, w12))
+	t12 := dual.Add(dual.Scale(jac.A11, w12), dual.Scale(jac.A12, w22))
+	t21 := dual.Add(dual.Scale(jac.A21, w11), dual.Scale(jac.A22, w12))
+	t22 := dual.Add(dual.Scale(jac.A21, w12), dual.Scale(jac.A22, w22))
+	p11 := dual.Add(dual.Scale(jac.A11, t11), dual.Scale(jac.A12, t12))
+	p12 := dual.Add(dual.Scale(jac.A21, t11), dual.Scale(jac.A22, t12))
+	p22 := dual.Add(dual.Scale(jac.A21, t21), dual.Scale(jac.A22, t22))
+
+	oneMinusRho := dual.AddConst(dual.Neg(rho), 1)
+	add := func(prof []ProfComp, mix dual.Dual) {
+		for _, pc := range prof {
+			for _, pk := range psf {
+				s11 := dual.AddConst(dual.Scale(pc.Var, p11), pk.Sxx)
+				s12 := dual.AddConst(dual.Scale(pc.Var, p12), pk.Sxy)
+				s22 := dual.AddConst(dual.Scale(pc.Var, p22), pk.Syy)
+				det := dual.Sub(dual.Mul(s11, s22), dual.Sqr(s12))
+				invDet := dual.Recip(det)
+				wt := dual.Scale(pc.Weight*pk.Weight/(2*math.Pi), mix)
+				e.Gal = append(e.Gal, DualComp{
+					K:   dual.Mul(wt, dual.Recip(dual.Sqrt(det))),
+					Q11: dual.Mul(s22, invDet),
+					Q12: dual.Neg(dual.Mul(s12, invDet)),
+					Q22: dual.Mul(s11, invDet),
+					MuX: pk.MuX, MuY: pk.MuY,
+				})
+			}
+		}
+	}
+	add(expProf, oneMinusRho)
+	add(devProf, rho)
+	return e
+}
+
+func starComps(psf Mixture) []DualComp {
+	out := make([]DualComp, len(psf))
+	for i, c := range psf {
+		det := c.Sxx*c.Syy - c.Sxy*c.Sxy
+		inv := 1 / det
+		out[i] = DualComp{
+			K:   dual.Const(c.Weight / (2 * math.Pi * math.Sqrt(det))),
+			Q11: dual.Const(c.Syy * inv),
+			Q12: dual.Const(-c.Sxy * inv),
+			Q22: dual.Const(c.Sxx * inv),
+			MuX: c.MuX, MuY: c.MuY,
+		}
+	}
+	return out
+}
+
+// qCutoff truncates component evaluation once the Gaussian exponent
+// quadratic exceeds this value: exp(-25) ≈ 1.4e-11 of the peak density,
+// far below photon noise. The scalar pre-check costs six multiplies and
+// saves the full second-order dual chain on the many pixels each narrow
+// component cannot reach.
+const qCutoff = 50
+
+// evalComps evaluates a component list at pixel offset (dx, dy) from the
+// source center (in pixels). The position derivative flows through
+// d = pix - srcPix(u) - mu with d(srcPix)/du = jac.
+func (e *Evaluator) evalComps(comps []DualComp, dx, dy float64) dual.Dual {
+	var acc dual.Dual
+	for i := range comps {
+		c := &comps[i]
+		d1v := dx - c.MuX
+		d2v := dy - c.MuY
+		if c.Q11.V*d1v*d1v+2*c.Q12.V*d1v*d2v+c.Q22.V*d2v*d2v > qCutoff {
+			continue
+		}
+		var d1, d2 dual.Dual
+		d1.V = dx - c.MuX
+		d1.G[0] = -e.jac.A11
+		d1.G[1] = -e.jac.A12
+		d2.V = dy - c.MuY
+		d2.G[0] = -e.jac.A21
+		d2.G[1] = -e.jac.A22
+		q := dual.Add(
+			dual.Add(dual.Mul(c.Q11, dual.Sqr(d1)),
+				dual.Scale(2, dual.Mul(c.Q12, dual.Mul(d1, d2)))),
+			dual.Mul(c.Q22, dual.Sqr(d2)))
+		dual.AddTo(&acc, dual.Mul(c.K, dual.Exp(dual.Scale(-0.5, q))))
+	}
+	return acc
+}
+
+// EvalStar returns the star spatial density (per pixel) at offset (dx, dy)
+// in pixels from the source center, with derivatives.
+func (e *Evaluator) EvalStar(dx, dy float64) dual.Dual {
+	return e.evalComps(e.Star, dx, dy)
+}
+
+// EvalGal returns the galaxy spatial density (per pixel) at offset (dx, dy)
+// in pixels from the source center, with derivatives. The profile-mix weight
+// is already folded into the component normalizations.
+func (e *Evaluator) EvalGal(dx, dy float64) dual.Dual {
+	return e.evalComps(e.Gal, dx, dy)
+}
+
+// BoundingRadiusPx returns a conservative pixel radius containing nearly all
+// (1 - ~1e-4) of the source's flux: nSigma times the largest component
+// standard deviation plus the largest mean offset.
+func (e *Evaluator) BoundingRadiusPx(nSigma float64) float64 {
+	var maxVar, maxOff float64
+	scan := func(comps []DualComp) {
+		for i := range comps {
+			c := &comps[i]
+			// Largest eigenvalue of the covariance = 1/smallest of precision.
+			// Use trace bound: lambda_max(S) <= Sxx + Syy = (Q22+Q11)/det(Q).
+			detQ := c.Q11.V*c.Q22.V - c.Q12.V*c.Q12.V
+			if detQ <= 0 {
+				continue
+			}
+			tr := (c.Q11.V + c.Q22.V) / detQ
+			if tr > maxVar {
+				maxVar = tr
+			}
+			off := math.Hypot(c.MuX, c.MuY)
+			if off > maxOff {
+				maxOff = off
+			}
+		}
+	}
+	scan(e.Star)
+	scan(e.Gal)
+	return nSigma*math.Sqrt(maxVar) + maxOff
+}

@@ -1,0 +1,384 @@
+// Package opt implements the numerical optimizers Celeste uses to fit one
+// light source's parameter block: a Newton trust-region method for nonconvex
+// minimization (the paper's choice, Section IV-D), and L-BFGS (the paper's
+// explicitly rejected alternative, kept for the ablation benchmarks that
+// reproduce the "tens of iterations vs up to 2000" comparison).
+//
+// All optimizers MINIMIZE; callers maximizing an ELBO pass its negation.
+package opt
+
+import (
+	"math"
+
+	"celeste/internal/linalg"
+)
+
+// FullObjective returns the value, gradient, and Hessian at x. The returned
+// slices/matrix must be freshly allocated or owned by the caller.
+type FullObjective func(x []float64) (f float64, g []float64, h *linalg.Mat)
+
+// ValueObjective returns only the value at x (used for cheap trust-region
+// ratio tests).
+type ValueObjective func(x []float64) float64
+
+// Result reports an optimization run.
+type Result struct {
+	X         []float64
+	F         float64
+	Iters     int // outer iterations
+	FullEvals int // gradient+Hessian evaluations
+	ValEvals  int // value-only evaluations
+	GradNorm  float64
+	Converged bool
+	Status    string
+}
+
+// TROptions configures NewtonTR.
+type TROptions struct {
+	MaxIter    int     // maximum outer iterations (default 100)
+	GradTol    float64 // terminate when ||g||_inf < GradTol (default 1e-8)
+	InitRadius float64 // initial trust radius (default 1)
+	MaxRadius  float64 // radius cap (default 1e3)
+	MinRadius  float64 // radius floor: treat as converged (default 1e-12)
+}
+
+func (o *TROptions) defaults() {
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.GradTol == 0 {
+		o.GradTol = 1e-8
+	}
+	if o.InitRadius == 0 {
+		o.InitRadius = 1
+	}
+	if o.MaxRadius == 0 {
+		o.MaxRadius = 1e3
+	}
+	if o.MinRadius == 0 {
+		o.MinRadius = 1e-12
+	}
+}
+
+// NewtonTR minimizes full (using value for ratio tests) from x0 with a
+// trust-region Newton method. The trust-region subproblem is solved exactly
+// via the symmetric eigendecomposition of the Hessian (with Cholesky fast
+// paths), which handles indefinite Hessians — the reason the paper pairs
+// Newton's method with a trust region on its nonconvex objective.
+func NewtonTR(full FullObjective, value ValueObjective, x0 []float64, opts TROptions) Result {
+	opts.defaults()
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	res := Result{X: x}
+
+	radius := opts.InitRadius
+	f, g, h := full(x)
+	res.FullEvals++
+	res.F = f
+
+	trial := make([]float64, n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iters = iter + 1
+		gnorm := infNorm(g)
+		res.GradNorm = gnorm
+		if gnorm < opts.GradTol {
+			res.Converged = true
+			res.Status = "gradient tolerance reached"
+			return res
+		}
+
+		p, predicted := solveTRSubproblem(h, g, radius)
+		if predicted >= 0 {
+			// No descent possible within the model; shrink and retry.
+			radius *= 0.25
+			if radius < opts.MinRadius {
+				res.Status = "trust region collapsed"
+				res.Converged = gnorm < 1e-4
+				return res
+			}
+			continue
+		}
+		for i := range trial {
+			trial[i] = x[i] + p[i]
+		}
+		ft := value(trial)
+		res.ValEvals++
+		actual := ft - f
+		rho := actual / predicted // both negative for progress
+
+		// NaN-robust radius update: a non-finite trial value (overflowed
+		// exponentials far from the optimum) must shrink the region, so the
+		// conditions are phrased to treat NaN like failure.
+		if rho > 0.75 && linalg.Norm2(p) > 0.8*radius {
+			radius = math.Min(2*radius, opts.MaxRadius)
+		} else if !(rho >= 0.25) {
+			radius *= 0.25
+		}
+		if rho > 1e-4 && actual < 0 && !math.IsNaN(ft) {
+			copy(x, trial)
+			f, g, h = full(x)
+			res.FullEvals++
+			res.F = f
+		}
+		if radius < opts.MinRadius {
+			res.Status = "trust region collapsed"
+			res.Converged = infNorm(g) < 1e-4
+			res.GradNorm = infNorm(g)
+			return res
+		}
+	}
+	res.Status = "iteration limit"
+	res.GradNorm = infNorm(g)
+	return res
+}
+
+// solveTRSubproblem returns the minimizer p of gᵀp + ½ pᵀHp subject to
+// ||p|| <= radius, and the predicted change in objective (negative for
+// descent). Fast path: if H is positive definite (checked by Cholesky) and
+// the Newton step is interior, return it. Otherwise solve the secular
+// equation using the eigendecomposition (Moré–Sorensen).
+func solveTRSubproblem(h *linalg.Mat, g []float64, radius float64) ([]float64, float64) {
+	n := len(g)
+	p := make([]float64, n)
+
+	// Cholesky fast path.
+	l := linalg.NewMat(n, n)
+	if err := linalg.Cholesky(l, h); err == nil {
+		linalg.SolveCholesky(l, p, g)
+		for i := range p {
+			p[i] = -p[i]
+		}
+		if linalg.Norm2(p) <= radius {
+			return p, modelChange(h, g, p)
+		}
+	}
+
+	// Eigendecomposition path.
+	w, v, err := linalg.EigenSym(h)
+	if err != nil {
+		// Numerical disaster: fall back to steepest descent to the boundary.
+		gn := linalg.Norm2(g)
+		if gn == 0 {
+			return p, 0
+		}
+		for i := range p {
+			p[i] = -g[i] / gn * radius
+		}
+		return p, modelChange(h, g, p)
+	}
+	// ghat = Vᵀ g.
+	ghat := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var s float64
+		for i := 0; i < n; i++ {
+			s += v.At(i, j) * g[i]
+		}
+		ghat[j] = s
+	}
+	lmin := w[0]
+
+	pnorm := func(lambda float64) float64 {
+		var ss float64
+		for j := 0; j < n; j++ {
+			d := w[j] + lambda
+			ss += ghat[j] * ghat[j] / (d * d)
+		}
+		return math.Sqrt(ss)
+	}
+
+	// Determine lambda >= max(0, -lmin) such that ||p(lambda)|| = radius.
+	lamLo := math.Max(0, -lmin)
+	lam := lamLo + 1e-12*(1+math.Abs(lmin))
+
+	// Hard case: g has (numerically) no component along the most negative
+	// eigenvector(s) and the boundary cannot be reached by shrinking.
+	if pnorm(lam) < radius && lamLo > 0 {
+		// p = -(H + lamLo I)^+ g + tau * v_min reaching the boundary.
+		for i := range p {
+			p[i] = 0
+		}
+		for j := 0; j < n; j++ {
+			d := w[j] + lamLo
+			if math.Abs(d) < 1e-10*(1+math.Abs(lmin)) {
+				continue
+			}
+			coef := -ghat[j] / d
+			for i := 0; i < n; i++ {
+				p[i] += coef * v.At(i, j)
+			}
+		}
+		base := linalg.Norm2(p)
+		tau := math.Sqrt(math.Max(radius*radius-base*base, 0))
+		for i := 0; i < n; i++ {
+			p[i] += tau * v.At(i, 0)
+		}
+		return p, modelChange(h, g, p)
+	}
+
+	// Newton iterations on the secular equation 1/||p|| - 1/radius = 0,
+	// safeguarded by expansion/bisection.
+	hi := lam + 1
+	for pnorm(hi) > radius {
+		hi *= 4
+	}
+	lo := lam
+	for iter := 0; iter < 100; iter++ {
+		mid := (lo + hi) / 2
+		if pnorm(mid) > radius {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+hi) {
+			break
+		}
+	}
+	lam = (lo + hi) / 2
+	for i := range p {
+		p[i] = 0
+	}
+	for j := 0; j < n; j++ {
+		coef := -ghat[j] / (w[j] + lam)
+		for i := 0; i < n; i++ {
+			p[i] += coef * v.At(i, j)
+		}
+	}
+	return p, modelChange(h, g, p)
+}
+
+// modelChange returns gᵀp + ½ pᵀHp.
+func modelChange(h *linalg.Mat, g, p []float64) float64 {
+	return linalg.Dot(g, p) + 0.5*linalg.QuadForm(h, p)
+}
+
+func infNorm(g []float64) float64 {
+	var m float64
+	for _, v := range g {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// LBFGSOptions configures LBFGS.
+type LBFGSOptions struct {
+	MaxIter int     // default 2000 (the paper's observed worst case)
+	GradTol float64 // default 1e-8
+	Memory  int     // default 10
+}
+
+// LBFGS minimizes fg from x0 with limited-memory BFGS and an Armijo
+// backtracking line search. It exists primarily for the Newton-vs-L-BFGS
+// ablation benchmark; Celeste proper uses NewtonTR.
+func LBFGS(fg func(x []float64) (float64, []float64), x0 []float64, opts LBFGSOptions) Result {
+	if opts.MaxIter == 0 {
+		opts.MaxIter = 2000
+	}
+	if opts.GradTol == 0 {
+		opts.GradTol = 1e-8
+	}
+	if opts.Memory == 0 {
+		opts.Memory = 10
+	}
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	res := Result{X: x}
+
+	f, g := fg(x)
+	res.FullEvals++
+	res.F = f
+
+	type pair struct {
+		s, y []float64
+		rho  float64
+	}
+	var hist []pair
+	dir := make([]float64, n)
+	alpha := make([]float64, opts.Memory)
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		res.Iters = iter + 1
+		gnorm := infNorm(g)
+		res.GradNorm = gnorm
+		if gnorm < opts.GradTol {
+			res.Converged = true
+			res.Status = "gradient tolerance reached"
+			return res
+		}
+
+		// Two-loop recursion.
+		copy(dir, g)
+		for i := len(hist) - 1; i >= 0; i-- {
+			h := &hist[i]
+			alpha[i] = h.rho * linalg.Dot(h.s, dir)
+			linalg.Axpy(-alpha[i], h.y, dir)
+		}
+		if len(hist) > 0 {
+			last := &hist[len(hist)-1]
+			gamma := linalg.Dot(last.s, last.y) / linalg.Dot(last.y, last.y)
+			for i := range dir {
+				dir[i] *= gamma
+			}
+		}
+		for i := 0; i < len(hist); i++ {
+			h := &hist[i]
+			beta := h.rho * linalg.Dot(h.y, dir)
+			linalg.Axpy(alpha[i]-beta, h.s, dir)
+		}
+		for i := range dir {
+			dir[i] = -dir[i]
+		}
+		if linalg.Dot(dir, g) >= 0 {
+			// Not a descent direction: reset to steepest descent.
+			hist = hist[:0]
+			for i := range dir {
+				dir[i] = -g[i]
+			}
+		}
+
+		// Armijo backtracking.
+		step := 1.0
+		const c1 = 1e-4
+		gd := linalg.Dot(g, dir)
+		var ft float64
+		var gt []float64
+		trial := make([]float64, n)
+		accepted := false
+		for ls := 0; ls < 50; ls++ {
+			for i := range trial {
+				trial[i] = x[i] + step*dir[i]
+			}
+			ft, gt = fg(trial)
+			res.FullEvals++
+			if ft <= f+c1*step*gd && !math.IsNaN(ft) {
+				accepted = true
+				break
+			}
+			step *= 0.5
+		}
+		if !accepted {
+			res.Status = "line search failed"
+			return res
+		}
+
+		s := make([]float64, n)
+		y := make([]float64, n)
+		for i := range s {
+			s[i] = trial[i] - x[i]
+			y[i] = gt[i] - g[i]
+		}
+		sy := linalg.Dot(s, y)
+		if sy > 1e-10 {
+			hist = append(hist, pair{s: s, y: y, rho: 1 / sy})
+			if len(hist) > opts.Memory {
+				hist = hist[1:]
+			}
+		}
+		copy(x, trial)
+		f, g = ft, gt
+		res.F = f
+	}
+	res.Status = "iteration limit"
+	return res
+}

@@ -1,0 +1,161 @@
+// Package pgas provides the partitioned global address space that holds the
+// current parameters of every light source during distributed optimization
+// (Section IV-C). The interface mimics the Global Arrays Toolkit: a global
+// array of fixed-width float64 elements, partitioned over ranks by block
+// ownership, accessed with one-sided Get/Put/Accumulate operations.
+//
+// The paper's transport is MPI-3 remote memory access, one-sided operations
+// supported in hardware by the interconnect; the defining property is that
+// the target rank does not participate in a transfer. In process, shared
+// memory gives exactly that semantics: a Get or Put touches the owner's
+// shard directly under a shard lock, and per-rank operation counters record
+// the remote-vs-local traffic that a fabric would carry (the cluster
+// simulator prices them with modeled latencies).
+package pgas
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Array is a global array of n elements, each a fixed-width []float64
+// block, partitioned contiguously over ranks.
+type Array struct {
+	n      int
+	width  int
+	nRanks int
+
+	shards []shard
+
+	localOps  atomic.Int64
+	remoteOps atomic.Int64
+	bytes     atomic.Int64
+}
+
+type shard struct {
+	mu   sync.RWMutex
+	data []float64 // elements owned by this rank, packed
+	lo   int       // first global element index owned
+}
+
+// New creates a global array of n elements of the given width over nRanks
+// owners.
+func New(n, width, nRanks int) *Array {
+	if n < 0 || width <= 0 || nRanks <= 0 {
+		panic("pgas: invalid dimensions")
+	}
+	a := &Array{n: n, width: width, nRanks: nRanks, shards: make([]shard, nRanks)}
+	for r := 0; r < nRanks; r++ {
+		lo, hi := a.ownedRange(r)
+		a.shards[r].lo = lo
+		a.shards[r].data = make([]float64, (hi-lo)*width)
+	}
+	return a
+}
+
+// N returns the element count.
+func (a *Array) N() int { return a.n }
+
+// Width returns the per-element float64 count.
+func (a *Array) Width() int { return a.width }
+
+// Owner returns the rank owning element i.
+func (a *Array) Owner(i int) int {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("pgas: element %d out of range [0,%d)", i, a.n))
+	}
+	per := (a.n + a.nRanks - 1) / a.nRanks
+	r := i / per
+	if r >= a.nRanks {
+		r = a.nRanks - 1
+	}
+	return r
+}
+
+// ownedRange returns the [lo, hi) global element range owned by rank.
+func (a *Array) ownedRange(rank int) (lo, hi int) {
+	per := (a.n + a.nRanks - 1) / a.nRanks
+	lo = rank * per
+	hi = lo + per
+	if lo > a.n {
+		lo = a.n
+	}
+	if hi > a.n {
+		hi = a.n
+	}
+	return
+}
+
+func (a *Array) account(caller, owner int) {
+	if caller == owner {
+		a.localOps.Add(1)
+	} else {
+		a.remoteOps.Add(1)
+	}
+	a.bytes.Add(int64(8 * a.width))
+}
+
+// Get copies element i into out (len == Width). caller identifies the
+// requesting rank for traffic accounting.
+func (a *Array) Get(caller, i int, out []float64) {
+	if len(out) != a.width {
+		panic("pgas: Get buffer width mismatch")
+	}
+	owner := a.Owner(i)
+	sh := &a.shards[owner]
+	sh.mu.RLock()
+	off := (i - sh.lo) * a.width
+	copy(out, sh.data[off:off+a.width])
+	sh.mu.RUnlock()
+	a.account(caller, owner)
+}
+
+// Put stores val (len == Width) into element i.
+func (a *Array) Put(caller, i int, val []float64) {
+	if len(val) != a.width {
+		panic("pgas: Put buffer width mismatch")
+	}
+	owner := a.Owner(i)
+	sh := &a.shards[owner]
+	sh.mu.Lock()
+	off := (i - sh.lo) * a.width
+	copy(sh.data[off:off+a.width], val)
+	sh.mu.Unlock()
+	a.account(caller, owner)
+}
+
+// Accumulate adds val element-wise into element i (the Global Arrays "acc"
+// operation), atomically with respect to other accesses of the same shard.
+func (a *Array) Accumulate(caller, i int, val []float64) {
+	if len(val) != a.width {
+		panic("pgas: Accumulate buffer width mismatch")
+	}
+	owner := a.Owner(i)
+	sh := &a.shards[owner]
+	sh.mu.Lock()
+	off := (i - sh.lo) * a.width
+	dst := sh.data[off : off+a.width]
+	for k, v := range val {
+		dst[k] += v
+	}
+	sh.mu.Unlock()
+	a.account(caller, owner)
+}
+
+// GetRange copies elements [lo, hi) into out (len == (hi-lo)*Width),
+// batching shard locks. Used to snapshot a region's neighbor parameters.
+func (a *Array) GetRange(caller, lo, hi int, out []float64) {
+	if len(out) != (hi-lo)*a.width {
+		panic("pgas: GetRange buffer size mismatch")
+	}
+	for i := lo; i < hi; i++ {
+		a.Get(caller, i, out[(i-lo)*a.width:(i-lo+1)*a.width])
+	}
+}
+
+// Stats returns cumulative local operations, remote operations, and bytes
+// moved.
+func (a *Array) Stats() (local, remote, bytes int64) {
+	return a.localOps.Load(), a.remoteOps.Load(), a.bytes.Load()
+}

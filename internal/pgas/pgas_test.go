@@ -1,0 +1,160 @@
+package pgas
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"celeste/internal/rng"
+)
+
+func TestReadYourWrites(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + int(seed%100)
+		width := 1 + int(seed%8)
+		ranks := 1 + int(seed%7)
+		a := New(n, width, ranks)
+		val := make([]float64, width)
+		out := make([]float64, width)
+		for trial := 0; trial < 50; trial++ {
+			i := r.Intn(n)
+			for k := range val {
+				val[k] = r.Normal()
+			}
+			a.Put(0, i, val)
+			a.Get(0, i, out)
+			for k := range val {
+				if out[k] != val[k] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOwnershipPartition(t *testing.T) {
+	a := New(100, 4, 7)
+	counts := make([]int, 7)
+	prev := 0
+	for i := 0; i < 100; i++ {
+		o := a.Owner(i)
+		if o < 0 || o >= 7 {
+			t.Fatalf("owner(%d) = %d", i, o)
+		}
+		if o < prev {
+			t.Fatalf("ownership not contiguous at %d", i)
+		}
+		prev = o
+		counts[o]++
+	}
+	// Block distribution: every rank except possibly the last has ceil(n/r).
+	for r := 0; r < 6; r++ {
+		if counts[r] != 15 && counts[r] != 10 {
+			t.Errorf("rank %d owns %d elements", r, counts[r])
+		}
+	}
+}
+
+func TestAccumulate(t *testing.T) {
+	a := New(10, 3, 2)
+	a.Put(0, 5, []float64{1, 2, 3})
+	a.Accumulate(1, 5, []float64{10, 20, 30})
+	out := make([]float64, 3)
+	a.Get(0, 5, out)
+	want := []float64{11, 22, 33}
+	for k := range want {
+		if out[k] != want[k] {
+			t.Fatalf("out = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestConcurrentAccumulateIsAtomic(t *testing.T) {
+	a := New(4, 1, 2)
+	const workers = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				a.Accumulate(rank%2, 2, []float64{1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	out := make([]float64, 1)
+	a.Get(0, 2, out)
+	if out[0] != workers*per {
+		t.Errorf("accumulated %v, want %v", out[0], workers*per)
+	}
+}
+
+func TestConcurrentDisjointPuts(t *testing.T) {
+	n := 64
+	a := New(n, 2, 8)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			a.Put(i%8, i, []float64{float64(i), float64(2 * i)})
+		}(i)
+	}
+	wg.Wait()
+	out := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		a.Get(0, i, out)
+		if out[0] != float64(i) || out[1] != float64(2*i) {
+			t.Fatalf("element %d = %v", i, out)
+		}
+	}
+}
+
+func TestGetRange(t *testing.T) {
+	a := New(20, 2, 3)
+	for i := 0; i < 20; i++ {
+		a.Put(0, i, []float64{float64(i), -float64(i)})
+	}
+	out := make([]float64, 10*2)
+	a.GetRange(1, 5, 15, out)
+	for i := 0; i < 10; i++ {
+		if out[2*i] != float64(5+i) || out[2*i+1] != -float64(5+i) {
+			t.Fatalf("range element %d = (%v, %v)", i, out[2*i], out[2*i+1])
+		}
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	a := New(100, 4, 4)
+	// Element 0 is owned by rank 0.
+	a.Get(0, 0, make([]float64, 4)) // local
+	a.Get(3, 0, make([]float64, 4)) // remote
+	a.Put(3, 0, make([]float64, 4)) // remote
+	local, remote, bytes := a.Stats()
+	if local != 1 {
+		t.Errorf("local = %d, want 1", local)
+	}
+	if remote != 2 {
+		t.Errorf("remote = %d, want 2", remote)
+	}
+	if bytes != 3*4*8 {
+		t.Errorf("bytes = %d, want %d", bytes, 3*4*8)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	a := New(10, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range index")
+		}
+	}()
+	a.Get(0, 10, make([]float64, 1))
+}

@@ -1,0 +1,70 @@
+package photo
+
+import (
+	"testing"
+
+	"celeste/internal/geom"
+	"celeste/internal/model"
+)
+
+// TestDetectionCompletenessMonotoneInFlux verifies the heuristic pipeline's
+// defining behaviour: a hard detection edge. Bright sources are always
+// found; sources fade out of the catalog as they approach the sky noise —
+// the population the paper argues needs Bayesian treatment.
+func TestDetectionCompletenessMonotoneInFlux(t *testing.T) {
+	fluxes := []float64{0.2, 1, 4, 16, 64}
+	detected := make([]int, len(fluxes))
+	const reps = 6
+	for rep := 0; rep < reps; rep++ {
+		for fi, f := range fluxes {
+			star := model.CatalogEntry{
+				Pos:  geom.Pt2{RA: 32 * pixScale, Dec: 32 * pixScale},
+				Flux: [model.NumBands]float64{f, f, f, f, f},
+			}
+			images := renderField(uint64(100*rep+fi), []model.CatalogEntry{star}, 64)
+			entries := Run(images, Config{})
+			for i := range entries {
+				if geom.Dist(entries[i].Pos, star.Pos) < 3*pixScale {
+					detected[fi]++
+					break
+				}
+			}
+		}
+	}
+	// Completeness must be monotone (within one rep of noise) and saturate.
+	for i := 1; i < len(fluxes); i++ {
+		if detected[i] < detected[i-1]-1 {
+			t.Errorf("completeness not monotone: %v for fluxes %v", detected, fluxes)
+		}
+	}
+	if detected[len(fluxes)-1] != reps {
+		t.Errorf("brightest star missed: %v/%d", detected[len(fluxes)-1], reps)
+	}
+	if detected[0] == reps {
+		t.Errorf("faintest source always detected; threshold is not binding")
+	}
+}
+
+// TestPhotometryUnbiasedForBrightStars checks the aperture flux estimator on
+// repeated realizations: relative bias well under the per-realization noise.
+func TestPhotometryUnbiasedForBrightStars(t *testing.T) {
+	const trueFlux = 30.0
+	var sum float64
+	const reps = 8
+	for rep := 0; rep < reps; rep++ {
+		star := model.CatalogEntry{
+			Pos:  geom.Pt2{RA: 32 * pixScale, Dec: 32 * pixScale},
+			Flux: [model.NumBands]float64{trueFlux, trueFlux, trueFlux, trueFlux, trueFlux},
+		}
+		images := renderField(uint64(500+rep), []model.CatalogEntry{star}, 64)
+		entries := Run(images, Config{})
+		if len(entries) == 0 {
+			t.Fatalf("rep %d: bright star not detected", rep)
+		}
+		sum += entries[0].Flux[model.RefBand]
+	}
+	mean := sum / reps
+	if rel := (mean - trueFlux) / trueFlux; rel < -0.12 || rel > 0.12 {
+		t.Errorf("aperture photometry biased by %.1f%%", rel*100)
+	}
+}

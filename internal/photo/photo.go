@@ -1,0 +1,407 @@
+// Package photo is the heuristic baseline pipeline that plays the role of
+// SDSS's "Photo" (Lupton et al.) in the paper's Table II comparison: a
+// carefully hand-tuned, non-Bayesian source extractor. Like its namesake it
+// processes a single run's imagery at a time, estimates the background by
+// sigma clipping, detects sources by thresholding and connected components,
+// measures positions and shapes from flux-weighted moments, measures
+// brightness with aperture photometry, and classifies star versus galaxy by
+// concentration against the PSF. It produces point estimates only — no
+// posterior uncertainty — which is precisely the gap Celeste fills.
+package photo
+
+import (
+	"math"
+	"sort"
+
+	"celeste/internal/geom"
+	"celeste/internal/model"
+	"celeste/internal/survey"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	DetectSigma   float64 // detection threshold in sky-sigma units (default 4)
+	MinPixels     int     // minimum connected pixels above threshold (default 3)
+	ApertureR     float64 // photometry aperture radius in pixels (default 8)
+	CoreR         float64 // concentration core radius (default 2.2)
+	StarConcRatio float64 // classify as star when concentration within this
+	// factor of the PSF's (default 0.85)
+}
+
+func (c *Config) defaults() {
+	if c.DetectSigma == 0 {
+		c.DetectSigma = 4
+	}
+	if c.MinPixels == 0 {
+		c.MinPixels = 3
+	}
+	if c.ApertureR == 0 {
+		c.ApertureR = 8
+	}
+	if c.CoreR == 0 {
+		c.CoreR = 2.2
+	}
+	if c.StarConcRatio == 0 {
+		c.StarConcRatio = 0.85
+	}
+}
+
+// EstimateBackground returns a sigma-clipped mean and standard deviation of
+// the pixel distribution, robust to the small fraction of source pixels.
+func EstimateBackground(pixels []float64) (mean, sigma float64) {
+	work := append([]float64(nil), pixels...)
+	sort.Float64s(work)
+	// Start from the median and the interquartile-based sigma.
+	med := work[len(work)/2]
+	q1 := work[len(work)/4]
+	q3 := work[3*len(work)/4]
+	sig := (q3 - q1) / 1.349
+	if sig <= 0 {
+		sig = math.Sqrt(math.Max(med, 1))
+	}
+	// Three clipping passes.
+	for pass := 0; pass < 3; pass++ {
+		lo, hi := med-3*sig, med+3*sig
+		var sum, sumsq, n float64
+		for _, v := range work {
+			if v < lo || v > hi {
+				continue
+			}
+			sum += v
+			sumsq += v * v
+			n++
+		}
+		if n < 8 {
+			break
+		}
+		med = sum / n
+		sig = math.Sqrt(math.Max(sumsq/n-med*med, 1e-12))
+	}
+	return med, sig
+}
+
+// Detection is a connected region of pixels above threshold in the
+// detection image.
+type Detection struct {
+	X, Y    float64 // flux-weighted centroid, pixels
+	Flux    float64 // background-subtracted counts in the component
+	Peak    float64
+	NPixels int
+
+	// Second moments (flux weighted), pixels².
+	Mxx, Mxy, Myy float64
+}
+
+// DetectSources finds sources in one image: pixels above
+// mean + DetectSigma·sigma, grouped by 8-connectivity, keeping components
+// with at least MinPixels pixels.
+func DetectSources(im *survey.Image, cfg Config) []Detection {
+	cfg.defaults()
+	bg, sig := EstimateBackground(im.Pixels)
+	thresh := bg + cfg.DetectSigma*sig
+
+	w, h := im.W, im.H
+	label := make([]int32, w*h)
+	var dets []Detection
+	var stack []int
+
+	for start := 0; start < w*h; start++ {
+		if label[start] != 0 || im.Pixels[start] <= thresh {
+			continue
+		}
+		// Flood fill a new component.
+		id := int32(len(dets) + 1)
+		stack = stack[:0]
+		stack = append(stack, start)
+		label[start] = id
+		var det Detection
+		var sumF, sumX, sumY float64
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := p%w, p/w
+			f := im.Pixels[p] - bg
+			det.NPixels++
+			if im.Pixels[p] > det.Peak {
+				det.Peak = im.Pixels[p]
+			}
+			sumF += f
+			sumX += f * float64(x)
+			sumY += f * float64(y)
+			for dy := -1; dy <= 1; dy++ {
+				for dx := -1; dx <= 1; dx++ {
+					nx, ny := x+dx, y+dy
+					if nx < 0 || ny < 0 || nx >= w || ny >= h {
+						continue
+					}
+					q := ny*w + nx
+					if label[q] == 0 && im.Pixels[q] > thresh {
+						label[q] = id
+						stack = append(stack, q)
+					}
+				}
+			}
+		}
+		if det.NPixels < cfg.MinPixels || sumF <= 0 {
+			continue
+		}
+		det.X = sumX / sumF
+		det.Y = sumY / sumF
+		det.Flux = sumF
+
+		// Second pass for central moments over the component's pixels.
+		var mxx, mxy, myy float64
+		for p := 0; p < w*h; p++ {
+			if label[p] != id {
+				continue
+			}
+			x, y := float64(p%w), float64(p/w)
+			f := im.Pixels[p] - bg
+			if f <= 0 {
+				continue
+			}
+			dx, dy := x-det.X, y-det.Y
+			mxx += f * dx * dx
+			mxy += f * dx * dy
+			myy += f * dy * dy
+		}
+		det.Mxx = mxx / sumF
+		det.Mxy = mxy / sumF
+		det.Myy = myy / sumF
+		dets = append(dets, det)
+	}
+	return dets
+}
+
+// aperturePhotometry sums background-subtracted counts in a circular
+// aperture, returning flux in nanomaggies.
+func aperturePhotometry(im *survey.Image, px, py, radius float64) float64 {
+	bg, _ := EstimateBackground(im.Pixels)
+	r2 := radius * radius
+	x0 := int(math.Max(math.Floor(px-radius), 0))
+	x1 := int(math.Min(math.Ceil(px+radius), float64(im.W-1)))
+	y0 := int(math.Max(math.Floor(py-radius), 0))
+	y1 := int(math.Min(math.Ceil(py+radius), float64(im.H-1)))
+	var sum float64
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx, dy := float64(x)-px, float64(y)-py
+			if dx*dx+dy*dy <= r2 {
+				sum += im.At(x, y) - bg
+			}
+		}
+	}
+	if im.Iota <= 0 {
+		return 0
+	}
+	return sum / im.Iota
+}
+
+// concentration returns the fraction of the aperture flux inside the core
+// radius; stars (PSF-shaped) concentrate more than galaxies.
+func concentration(im *survey.Image, px, py float64, cfg Config) float64 {
+	core := aperturePhotometry(im, px, py, cfg.CoreR)
+	total := aperturePhotometry(im, px, py, cfg.ApertureR)
+	if total <= 0 {
+		return 0
+	}
+	return core / total
+}
+
+// psfConcentration computes the same statistic for the image's PSF model.
+func psfConcentration(im *survey.Image, cfg Config) float64 {
+	var core, total float64
+	n := int(cfg.ApertureR) + 1
+	for y := -n; y <= n; y++ {
+		for x := -n; x <= n; x++ {
+			r2 := float64(x*x + y*y)
+			f := im.PSF.Eval(float64(x), float64(y))
+			if r2 <= cfg.ApertureR*cfg.ApertureR {
+				total += f
+			}
+			if r2 <= cfg.CoreR*cfg.CoreR {
+				core += f
+			}
+		}
+	}
+	if total <= 0 {
+		return 1
+	}
+	return core / total
+}
+
+// Run processes one run's imagery: detection on the reference band of each
+// field, then per-band aperture photometry, moment shapes, and
+// concentration-based classification. Detections from different fields that
+// coincide on the sky are deduplicated (brightest wins).
+func Run(images []*survey.Image, cfg Config) []model.CatalogEntry {
+	cfg.defaults()
+
+	// Group images by field; detection runs on the reference band.
+	byField := make(map[int][]*survey.Image)
+	for _, im := range images {
+		byField[im.Field] = append(byField[im.Field], im)
+	}
+
+	var entries []model.CatalogEntry
+	for _, fieldImages := range byField {
+		var ref *survey.Image
+		for _, im := range fieldImages {
+			if im.Band == model.RefBand {
+				ref = im
+				break
+			}
+		}
+		if ref == nil {
+			continue
+		}
+		dets := DetectSources(ref, cfg)
+		psfConc := psfConcentration(ref, cfg)
+		for _, det := range dets {
+			e := measure(fieldImages, ref, det, psfConc, cfg)
+			entries = append(entries, e)
+		}
+	}
+	return dedupe(entries, 2*1.1e-4)
+}
+
+func measure(fieldImages []*survey.Image, ref *survey.Image, det Detection,
+	psfConc float64, cfg Config) model.CatalogEntry {
+
+	var e model.CatalogEntry
+	e.Pos = ref.WCS.PixToWorld(det.X, det.Y)
+
+	// Per-band photometry at the detection position.
+	for _, im := range fieldImages {
+		px, py := im.WCS.WorldToPix(e.Pos)
+		flux := aperturePhotometry(im, px, py, cfg.ApertureR)
+		if flux > 0 {
+			e.Flux[im.Band] = flux
+		}
+	}
+
+	// Classification by concentration relative to the PSF.
+	conc := concentration(ref, det.X, det.Y, cfg)
+	if conc < cfg.StarConcRatio*psfConc {
+		e.ProbGal = 1
+	} else {
+		e.ProbGal = 0
+	}
+
+	// Shape from PSF-deconvolved windowed second moments. Thresholded
+	// component pixels truncate the faint minor axis, so the moments are
+	// remeasured over the full photometry aperture.
+	if e.IsGal() {
+		wxx, wxy, wyy := windowedMoments(ref, det.X, det.Y, cfg.ApertureR)
+		psfVar := psfSecondMoment(ref)
+		mxx := math.Max(wxx-psfVar, 0.01)
+		myy := math.Max(wyy-psfVar, 0.01)
+		mxy := wxy
+		// Eigendecomposition of the 2x2 moment matrix.
+		tr := mxx + myy
+		disc := math.Sqrt(math.Max((mxx-myy)*(mxx-myy)+4*mxy*mxy, 0))
+		l1 := (tr + disc) / 2
+		l2 := math.Max((tr-disc)/2, 1e-4)
+		e.GalAxisRatio = math.Sqrt(l2 / l1)
+		e.GalAngle = math.Mod(0.5*math.Atan2(2*mxy, mxx-myy)+math.Pi, math.Pi)
+		// Half-light radius approximation from the moment radius; for a
+		// Gaussian the half-light radius is 1.177 sigma.
+		sigmaPx := math.Sqrt(math.Sqrt(l1 * l2))
+		e.GalScale = 1.177 * sigmaPx * ref.WCS.PixScale()
+		// Profile type from concentration: deV profiles are cuspier.
+		e.GalDevFrac = clamp01((cfg.StarConcRatio*psfConc - conc) * 4)
+	}
+	return e
+}
+
+// windowedMoments measures flux-weighted central second moments of the
+// background-subtracted light within a circular window, iterating the
+// centroid once for stability.
+func windowedMoments(im *survey.Image, px, py, radius float64) (mxx, mxy, myy float64) {
+	bg, _ := EstimateBackground(im.Pixels)
+	r2 := radius * radius
+	x0 := int(math.Max(math.Floor(px-radius), 0))
+	x1 := int(math.Min(math.Ceil(px+radius), float64(im.W-1)))
+	y0 := int(math.Max(math.Floor(py-radius), 0))
+	y1 := int(math.Min(math.Ceil(py+radius), float64(im.H-1)))
+	var sumF, sx, sy float64
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx, dy := float64(x)-px, float64(y)-py
+			if dx*dx+dy*dy > r2 {
+				continue
+			}
+			f := im.At(x, y) - bg
+			if f <= 0 {
+				continue
+			}
+			sumF += f
+			sx += f * float64(x)
+			sy += f * float64(y)
+		}
+	}
+	if sumF <= 0 {
+		return 0.01, 0, 0.01
+	}
+	cx, cy := sx/sumF, sy/sumF
+	var xx, xy, yy float64
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			dx, dy := float64(x)-px, float64(y)-py
+			if dx*dx+dy*dy > r2 {
+				continue
+			}
+			f := im.At(x, y) - bg
+			if f <= 0 {
+				continue
+			}
+			ddx, ddy := float64(x)-cx, float64(y)-cy
+			xx += f * ddx * ddx
+			xy += f * ddx * ddy
+			yy += f * ddy * ddy
+		}
+	}
+	return xx / sumF, xy / sumF, yy / sumF
+}
+
+// psfSecondMoment returns the PSF's mean second moment (average of xx and
+// yy), used for crude moment deconvolution.
+func psfSecondMoment(im *survey.Image) float64 {
+	var m float64
+	for _, c := range im.PSF {
+		m += c.Weight * (c.Sxx + c.Syy) / 2
+	}
+	return m
+}
+
+// dedupe keeps the brightest entry among groups closer than minSep degrees.
+func dedupe(entries []model.CatalogEntry, minSep float64) []model.CatalogEntry {
+	sort.Slice(entries, func(a, b int) bool {
+		return entries[a].Flux[model.RefBand] > entries[b].Flux[model.RefBand]
+	})
+	var out []model.CatalogEntry
+	for _, e := range entries {
+		dup := false
+		for i := range out {
+			if geom.Dist(e.Pos, out[i].Pos) < minSep {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.ID = len(out)
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

@@ -1,0 +1,181 @@
+package photo
+
+import (
+	"math"
+	"testing"
+
+	"celeste/internal/geom"
+	"celeste/internal/model"
+	"celeste/internal/psf"
+	"celeste/internal/rng"
+	"celeste/internal/survey"
+)
+
+const pixScale = 1.1e-4
+
+// renderField builds one field's five-band images containing the given
+// sources.
+func renderField(seed uint64, sources []model.CatalogEntry, size int) []*survey.Image {
+	r := rng.New(seed)
+	var images []*survey.Image
+	for b := 0; b < model.NumBands; b++ {
+		w := geom.NewSimpleWCS(0, 0, pixScale)
+		p := psf.Default(1.2)
+		im := &survey.Image{
+			ID: b, Field: 0, Band: b, W: size, H: size, WCS: w, PSF: p,
+			Iota: 100, Sky: 80, Pixels: make([]float64, size*size),
+		}
+		for i := range im.Pixels {
+			im.Pixels[i] = 80
+		}
+		for s := range sources {
+			model.AddExpectedCounts(im.Pixels, size, size, w, p, &sources[s], b, 100, 6)
+		}
+		for i, lam := range im.Pixels {
+			im.Pixels[i] = float64(r.Poisson(lam))
+		}
+		images = append(images, im)
+	}
+	return images
+}
+
+func TestEstimateBackground(t *testing.T) {
+	r := rng.New(1)
+	pixels := make([]float64, 10000)
+	for i := range pixels {
+		pixels[i] = float64(r.Poisson(80))
+	}
+	// Contaminate 2% with bright source pixels.
+	for i := 0; i < 200; i++ {
+		pixels[i] = 5000
+	}
+	mean, sigma := EstimateBackground(pixels)
+	if math.Abs(mean-80) > 1.5 {
+		t.Errorf("background mean = %v, want ~80", mean)
+	}
+	if math.Abs(sigma-math.Sqrt(80)) > 1.5 {
+		t.Errorf("background sigma = %v, want ~%v", sigma, math.Sqrt(80))
+	}
+}
+
+func TestDetectIsolatedStar(t *testing.T) {
+	star := model.CatalogEntry{
+		Pos:  geom.Pt2{RA: 32 * pixScale, Dec: 32 * pixScale},
+		Flux: [model.NumBands]float64{10, 15, 20, 22, 25},
+	}
+	images := renderField(2, []model.CatalogEntry{star}, 64)
+	var ref *survey.Image
+	for _, im := range images {
+		if im.Band == model.RefBand {
+			ref = im
+		}
+	}
+	dets := DetectSources(ref, Config{})
+	if len(dets) != 1 {
+		t.Fatalf("detected %d sources, want 1", len(dets))
+	}
+	if math.Abs(dets[0].X-32) > 0.5 || math.Abs(dets[0].Y-32) > 0.5 {
+		t.Errorf("centroid (%v, %v), want (32, 32)", dets[0].X, dets[0].Y)
+	}
+}
+
+func TestRunMeasuresFluxAndType(t *testing.T) {
+	star := model.CatalogEntry{
+		Pos:  geom.Pt2{RA: 20 * pixScale, Dec: 20 * pixScale},
+		Flux: [model.NumBands]float64{10, 15, 20, 22, 25},
+	}
+	gal := model.CatalogEntry{
+		Pos: geom.Pt2{RA: 70 * pixScale, Dec: 70 * pixScale}, ProbGal: 1,
+		Flux:       [model.NumBands]float64{14, 20, 28, 32, 36},
+		GalDevFrac: 0.3, GalAxisRatio: 0.55, GalAngle: 0.7, GalScale: 2.5 * pixScale,
+	}
+	images := renderField(3, []model.CatalogEntry{star, gal}, 96)
+	entries := Run(images, Config{})
+	if len(entries) != 2 {
+		t.Fatalf("cataloged %d sources, want 2", len(entries))
+	}
+	// Match by position.
+	var gotStar, gotGal *model.CatalogEntry
+	for i := range entries {
+		if geom.Dist(entries[i].Pos, star.Pos) < 3*pixScale {
+			gotStar = &entries[i]
+		}
+		if geom.Dist(entries[i].Pos, gal.Pos) < 3*pixScale {
+			gotGal = &entries[i]
+		}
+	}
+	if gotStar == nil || gotGal == nil {
+		t.Fatalf("missing matches: star=%v gal=%v", gotStar, gotGal)
+	}
+	if gotStar.IsGal() {
+		t.Error("star classified as galaxy")
+	}
+	if !gotGal.IsGal() {
+		t.Error("galaxy classified as star")
+	}
+	// Aperture flux within ~20% for these bright sources.
+	for b := 1; b < model.NumBands; b++ {
+		if rel := math.Abs(gotStar.Flux[b]-star.Flux[b]) / star.Flux[b]; rel > 0.25 {
+			t.Errorf("star band %d flux off by %.0f%%", b, rel*100)
+		}
+	}
+	// Galaxy shape estimates in the right region.
+	if math.Abs(gotGal.GalAxisRatio-gal.GalAxisRatio) > 0.3 {
+		t.Errorf("axis ratio = %v, truth %v", gotGal.GalAxisRatio, gal.GalAxisRatio)
+	}
+	if gotGal.GalScale <= 0 || gotGal.GalScale > 4*gal.GalScale {
+		t.Errorf("scale = %v, truth %v", gotGal.GalScale, gal.GalScale)
+	}
+	// Photo provides no uncertainties — by design.
+	if gotStar.FluxSD[model.RefBand] != 0 {
+		t.Error("heuristic pipeline should not report uncertainties")
+	}
+}
+
+func TestFaintSourceMissed(t *testing.T) {
+	// A source below the detection threshold must not be cataloged
+	// (heuristics have a hard detection edge; the Bayesian model does not).
+	faint := model.CatalogEntry{
+		Pos:  geom.Pt2{RA: 32 * pixScale, Dec: 32 * pixScale},
+		Flux: [model.NumBands]float64{0.05, 0.05, 0.05, 0.05, 0.05},
+	}
+	images := renderField(4, []model.CatalogEntry{faint}, 64)
+	entries := Run(images, Config{})
+	if len(entries) != 0 {
+		t.Errorf("cataloged %d sources from sub-threshold flux", len(entries))
+	}
+}
+
+func TestNoFalsePositivesOnBlankField(t *testing.T) {
+	images := renderField(5, nil, 96)
+	entries := Run(images, Config{})
+	if len(entries) > 1 {
+		t.Errorf("%d false positives on a blank field", len(entries))
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	entries := []model.CatalogEntry{
+		{Pos: geom.Pt2{RA: 0, Dec: 0}, Flux: [model.NumBands]float64{0, 0, 5, 0, 0}},
+		{Pos: geom.Pt2{RA: 0.5 * pixScale, Dec: 0}, Flux: [model.NumBands]float64{0, 0, 3, 0, 0}},
+		{Pos: geom.Pt2{RA: 100 * pixScale, Dec: 0}, Flux: [model.NumBands]float64{0, 0, 4, 0, 0}},
+	}
+	out := dedupe(entries, 2*pixScale)
+	if len(out) != 2 {
+		t.Fatalf("dedupe kept %d, want 2", len(out))
+	}
+	// Brightest of the close pair survives.
+	if out[0].Flux[model.RefBand] != 5 {
+		t.Errorf("kept flux %v, want 5", out[0].Flux[model.RefBand])
+	}
+}
+
+func TestPSFConcentrationBounds(t *testing.T) {
+	im := &survey.Image{PSF: psf.Default(1.2)}
+	cfg := Config{}
+	cfg.defaults()
+	c := psfConcentration(im, cfg)
+	if c <= 0.2 || c >= 1 {
+		t.Errorf("PSF concentration = %v", c)
+	}
+}

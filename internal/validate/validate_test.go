@@ -1,0 +1,148 @@
+package validate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"celeste/internal/geom"
+	"celeste/internal/model"
+)
+
+const pixScale = 1.1e-4
+
+func mkTruth() []model.CatalogEntry {
+	return []model.CatalogEntry{
+		{ // a star
+			ID: 0, Pos: geom.Pt2{RA: 0.01, Dec: 0.01},
+			Flux: [model.NumBands]float64{2, 4, 6, 7, 8},
+		},
+		{ // a galaxy
+			ID: 1, Pos: geom.Pt2{RA: 0.02, Dec: 0.02}, ProbGal: 1,
+			Flux:       [model.NumBands]float64{3, 6, 9, 11, 12},
+			GalDevFrac: 0.4, GalAxisRatio: 0.6, GalAngle: 1.0, GalScale: 2 * pixScale,
+		},
+	}
+}
+
+func TestPerfectCatalogScoresZero(t *testing.T) {
+	truth := mkTruth()
+	sc := Score(truth, truth, pixScale, 3)
+	if sc.Matched != 2 {
+		t.Fatalf("matched %d", sc.Matched)
+	}
+	for _, row := range RowNames {
+		if m := sc.Mean(row); !math.IsNaN(m) && m > 1e-12 {
+			t.Errorf("%s = %v for a perfect catalog", row, m)
+		}
+	}
+}
+
+func TestPositionAndBrightnessErrors(t *testing.T) {
+	truth := mkTruth()
+	cat := append([]model.CatalogEntry(nil), truth...)
+	cat[0].Pos.RA += 0.5 * pixScale // half-pixel offset
+	cat[0].Flux[model.RefBand] *= 1.1
+	sc := Score(truth, cat, pixScale, 3)
+	if m := sc.Mean("Position"); math.Abs(m-0.25) > 1e-9 {
+		t.Errorf("position error = %v, want 0.25 (mean over 2 sources)", m)
+	}
+	wantMag := math.Abs(2.5 * math.Log10(1.1))
+	if m := sc.Mean("Brightness"); math.Abs(m-wantMag/2) > 1e-9 {
+		t.Errorf("brightness error = %v, want %v", m, wantMag/2)
+	}
+}
+
+func TestClassificationRows(t *testing.T) {
+	truth := mkTruth()
+	cat := append([]model.CatalogEntry(nil), truth...)
+	cat[1].ProbGal = 0 // galaxy mislabeled as star
+	sc := Score(truth, cat, pixScale, 3)
+	if m := sc.Mean("Missed gals"); m != 1 {
+		t.Errorf("missed gals = %v, want 1", m)
+	}
+	if m := sc.Mean("Missed stars"); m != 0 {
+		t.Errorf("missed stars = %v, want 0", m)
+	}
+}
+
+func TestUnmatchedTruthCountsAsMiss(t *testing.T) {
+	truth := mkTruth()
+	cat := truth[:1] // galaxy not detected at all
+	sc := Score(truth, cat, pixScale, 3)
+	if m := sc.Mean("Missed gals"); m != 1 {
+		t.Errorf("missed gals = %v, want 1", m)
+	}
+	if sc.Matched != 1 {
+		t.Errorf("matched = %d", sc.Matched)
+	}
+}
+
+func TestShapeRowsOnlyForAgreedGalaxies(t *testing.T) {
+	truth := mkTruth()
+	cat := append([]model.CatalogEntry(nil), truth...)
+	cat[1].GalAxisRatio = 0.4
+	cat[1].GalScale = 3 * pixScale
+	cat[1].GalAngle = 1.0 + 10*math.Pi/180
+	sc := Score(truth, cat, pixScale, 3)
+	if m := sc.Mean("Eccentricity"); math.Abs(m-0.2) > 1e-9 {
+		t.Errorf("eccentricity = %v, want 0.2", m)
+	}
+	if m := sc.Mean("Scale"); math.Abs(m-1.0) > 1e-9 {
+		t.Errorf("scale = %v px, want 1", m)
+	}
+	if m := sc.Mean("Angle"); math.Abs(m-10) > 1e-6 {
+		t.Errorf("angle = %v deg, want 10", m)
+	}
+	// Star rows must not contribute shape samples.
+	if n := len(sc.Samples["Eccentricity"]); n != 1 {
+		t.Errorf("eccentricity samples = %d, want 1", n)
+	}
+}
+
+func TestColorErrors(t *testing.T) {
+	truth := mkTruth()
+	cat := append([]model.CatalogEntry(nil), truth...)
+	cat[0].Flux[0] *= 1.2 // changes only u-g
+	sc := Score(truth, cat, pixScale, 3)
+	want := math.Abs(2.5 * math.Log10(1/1.2))
+	if m := sc.Mean("Color u-g"); math.Abs(m-want/2) > 1e-9 {
+		t.Errorf("u-g = %v, want %v", m, want/2)
+	}
+	if m := sc.Mean("Color g-r"); m != 0 {
+		t.Errorf("g-r = %v, want 0", m)
+	}
+}
+
+func TestTableSignificance(t *testing.T) {
+	truth := make([]model.CatalogEntry, 60)
+	catA := make([]model.CatalogEntry, 60)
+	catB := make([]model.CatalogEntry, 60)
+	for i := range truth {
+		pos := geom.Pt2{RA: float64(i) * 0.01, Dec: 0}
+		truth[i] = model.CatalogEntry{Pos: pos,
+			Flux: [model.NumBands]float64{2, 3, 4, 5, 6}}
+		catA[i] = truth[i]
+		catB[i] = truth[i]
+		// A consistently worse in position by 1 px, B by 0.2 px.
+		catA[i].Pos.RA += 1.0 * pixScale
+		catB[i].Pos.Dec += 0.2 * pixScale
+	}
+	rows := Table(Score(truth, catA, pixScale, 5), Score(truth, catB, pixScale, 5))
+	var posRow *Row
+	for i := range rows {
+		if rows[i].Name == "Position" {
+			posRow = &rows[i]
+		}
+	}
+	if posRow == nil {
+		t.Fatal("no position row")
+	}
+	if !posRow.CelesteBetter || !posRow.Significant {
+		t.Errorf("expected significant Celeste win: %+v", posRow)
+	}
+	out := Format(rows)
+	if !strings.Contains(out, "Position") || !strings.Contains(out, "*") {
+		t.Errorf("format output missing expectations:\n%s", out)
+	}
+}
