@@ -9,12 +9,12 @@ import (
 	"math"
 	"testing"
 
+	"celeste/internal/benchfix"
 	"celeste/internal/cluster"
 	"celeste/internal/elbo"
 	"celeste/internal/geom"
 	"celeste/internal/mcmc"
 	"celeste/internal/model"
-	"celeste/internal/psf"
 	"celeste/internal/rng"
 	"celeste/internal/survey"
 	"celeste/internal/vi"
@@ -120,35 +120,9 @@ func BenchmarkPerNodeConfigSweep(b *testing.B) {
 }
 
 // singleSourceScene builds a five-band galaxy scene for the kernel
-// benchmarks.
+// benchmarks (shared with cmd/benchreport via internal/benchfix).
 func singleSourceScene(seed uint64) (*elbo.Problem, model.Params) {
-	const pixScale = 1.1e-4
-	r := rng.New(seed)
-	priors := model.DefaultPriors()
-	truth := model.CatalogEntry{
-		Pos: geom.Pt2{RA: 0.003, Dec: 0.003}, ProbGal: 1,
-		Flux:       [model.NumBands]float64{10, 15, 20, 23, 25},
-		GalDevFrac: 0.3, GalAxisRatio: 0.6, GalAngle: 0.8, GalScale: 2 * pixScale,
-	}
-	var images []*survey.Image
-	size := 48
-	for band := 0; band < model.NumBands; band++ {
-		w := geom.NewSimpleWCS(truth.Pos.RA-float64(size)/2*pixScale,
-			truth.Pos.Dec-float64(size)/2*pixScale, pixScale)
-		p := psf.Default(1.2)
-		im := &survey.Image{Band: band, W: size, H: size, WCS: w, PSF: p,
-			Iota: 100, Sky: 80, Pixels: make([]float64, size*size)}
-		for i := range im.Pixels {
-			im.Pixels[i] = 80
-		}
-		model.AddExpectedCounts(im.Pixels, size, size, w, p, &truth, band, 100, 6)
-		for i, lam := range im.Pixels {
-			im.Pixels[i] = float64(r.Poisson(lam))
-		}
-		images = append(images, im)
-	}
-	pb := elbo.NewProblem(&priors, images, truth.Pos, 12)
-	return pb, model.InitialParams(&truth)
+	return benchfix.SingleSourceScene(seed)
 }
 
 // BenchmarkNewtonVsLBFGS is the Section IV-D ablation: iteration counts for
@@ -351,29 +325,32 @@ func BenchmarkVIvsMCMC(b *testing.B) {
 // sceneImagesForMCMC regenerates the singleSourceScene images (the elbo
 // problem does not retain them).
 func sceneImagesForMCMC(seed uint64) []*survey.Image {
-	const pixScale = 1.1e-4
-	r := rng.New(seed)
-	truth := model.CatalogEntry{
-		Pos: geom.Pt2{RA: 0.003, Dec: 0.003}, ProbGal: 1,
-		Flux:       [model.NumBands]float64{10, 15, 20, 23, 25},
-		GalDevFrac: 0.3, GalAxisRatio: 0.6, GalAngle: 0.8, GalScale: 2 * pixScale,
-	}
-	var images []*survey.Image
-	size := 48
-	for band := 0; band < model.NumBands; band++ {
-		w := geom.NewSimpleWCS(truth.Pos.RA-float64(size)/2*pixScale,
-			truth.Pos.Dec-float64(size)/2*pixScale, pixScale)
-		p := psf.Default(1.2)
-		im := &survey.Image{Band: band, W: size, H: size, WCS: w, PSF: p,
-			Iota: 100, Sky: 80, Pixels: make([]float64, size*size)}
-		for i := range im.Pixels {
-			im.Pixels[i] = 80
-		}
-		model.AddExpectedCounts(im.Pixels, size, size, w, p, &truth, band, 100, 6)
-		for i, lam := range im.Pixels {
-			im.Pixels[i] = float64(r.Poisson(lam))
-		}
-		images = append(images, im)
-	}
+	images, _ := benchfix.SceneImages(seed)
 	return images
+}
+
+// BenchmarkHotPath is the perf-regression harness for the per-source fit
+// pipeline: steady-state derivative evaluation, value-only evaluation, a
+// whole Newton fit, and a joint Cyclades sweep, all on fixed-seed scenes
+// with warm scratch buffers. cmd/benchreport runs the same fixtures and
+// records the numbers in BENCH_elbo.json so every PR has a perf trajectory.
+// Run with -benchmem: steady-state allocs/op must stay 0 for eval and fit.
+func BenchmarkHotPath(b *testing.B) {
+	for _, sub := range []struct {
+		name string
+		body func(*testing.B) int64
+	}{
+		{"elbo-eval", benchfix.BenchElboEval},
+		{"elbo-evalvalue", benchfix.BenchElboEvalValue},
+		{"vi-fit", benchfix.BenchViFit},
+		{"core-process", benchfix.BenchCoreProcess},
+	} {
+		b.Run(sub.name, func(b *testing.B) {
+			b.ReportAllocs()
+			visits := sub.body(b)
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(visits)/s, "visits/s")
+			}
+		})
+	}
 }

@@ -1,0 +1,122 @@
+// Command benchreport runs the hot-path performance harness — steady-state
+// ELBO evaluation, value-only evaluation, a whole per-source Newton fit, and
+// a joint Cyclades sweep, on the same fixed-seed fixtures the root package's
+// BenchmarkHotPath uses — and writes the results to BENCH_elbo.json so every
+// PR leaves a comparable perf record.
+//
+// Usage:
+//
+//	go run ./cmd/benchreport [-o BENCH_elbo.json] [-benchtime 5]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"celeste/internal/benchfix"
+)
+
+// entry is one benchmark's record. VisitsPerSec is the paper's throughput
+// unit (active pixel visits, Section VI-B); it is 0 for benchmarks that do
+// not visit pixels.
+type entry struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	VisitsPerSec float64 `json:"visits_per_sec"`
+	Iterations   int     `json:"iterations"`
+}
+
+type report struct {
+	Timestamp  string           `json:"timestamp"`
+	GoVersion  string           `json:"go_version"`
+	GOARCH     string           `json:"goarch"`
+	NumCPU     int              `json:"num_cpu"`
+	Benchmarks map[string]entry `json:"benchmarks"`
+
+	// SeedReference pins the pre-optimization numbers for the same fixtures,
+	// measured once at the seed commit (3803b06, amd64 CI container) before
+	// the zero-allocation hot path landed. It is a fixed provenance record
+	// for the perf trajectory, not remeasured per run.
+	SeedReference map[string]entry `json:"seed_reference"`
+}
+
+// seedReference: see report.SeedReference.
+var seedReference = map[string]entry{
+	"elbo_eval": {NsPerOp: 54713155, AllocsPerOp: 3689, BytesPerOp: 7546332, VisitsPerSec: 56802},
+	"vi_fit":    {NsPerOp: 1018010810, AllocsPerOp: 74491, BytesPerOp: 151363660},
+}
+
+func main() {
+	testing.Init() // register test.* flags so test.benchtime resolves
+	out := flag.String("o", "BENCH_elbo.json", "output path")
+	benchtime := flag.Float64("benchtime", 2, "target seconds per benchmark")
+	flag.Parse()
+
+	// testing.Benchmark honors -test.benchtime; set it explicitly so the
+	// harness runs long enough for stable numbers.
+	if err := flag.Lookup("test.benchtime").Value.Set(fmt.Sprintf("%gs", *benchtime)); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+
+	// Fail on an unwritable output path now, not after minutes of
+	// benchmarking.
+	if f, err := os.OpenFile(*out, os.O_WRONLY|os.O_CREATE, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	} else {
+		f.Close()
+	}
+
+	rep := report{
+		Timestamp:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:     runtime.Version(),
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Benchmarks:    map[string]entry{},
+		SeedReference: seedReference,
+	}
+
+	record := func(name string, f func(b *testing.B) int64) {
+		var visits int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			visits = f(b)
+		})
+		e := entry{
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		if visits > 0 && r.T > 0 {
+			e.VisitsPerSec = float64(visits) / r.T.Seconds()
+		}
+		rep.Benchmarks[name] = e
+		fmt.Printf("%-18s %12.0f ns/op %6d allocs/op %12.0f visits/s\n",
+			name, e.NsPerOp, e.AllocsPerOp, e.VisitsPerSec)
+	}
+
+	record("elbo_eval", benchfix.BenchElboEval)
+	record("elbo_evalvalue", benchfix.BenchElboEvalValue)
+	record("vi_fit", benchfix.BenchViFit)
+	record("core_process", benchfix.BenchCoreProcess)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,3 @@
+module celeste
+
+go 1.24

@@ -18,6 +18,11 @@ type Num struct {
 	Val  float64
 	Grad []float64
 	Hess []float64
+
+	// space, when non-nil, is the arena this Num was drawn from; derived
+	// Nums are drawn from the same arena so a whole expression tree can be
+	// recycled with Space.Reset.
+	space *Space
 }
 
 // Dim returns the differentiation dimension of x.
@@ -37,8 +42,16 @@ func PackedIndex(i, j int) int { return i*(i+1)/2 + j }
 // PackedLen returns the packed Hessian length for dimension n.
 func PackedLen(n int) int { return n * (n + 1) / 2 }
 
-// Space fixes the differentiation dimension for a family of Nums.
-type Space struct{ n int }
+// Space fixes the differentiation dimension for a family of Nums and owns
+// the arena they are drawn from. Every Num created through a Space — directly
+// via Const/Var or transitively via arithmetic on such Nums — comes from the
+// arena; Reset recycles them all at once, so a computation repeated with the
+// same shape performs zero heap allocations in steady state.
+type Space struct {
+	n     int
+	arena []*Num
+	used  int
+}
 
 // NewSpace returns a Space of dimension n.
 func NewSpace(n int) *Space { return &Space{n: n} }
@@ -46,9 +59,40 @@ func NewSpace(n int) *Space { return &Space{n: n} }
 // Dim returns the space dimension.
 func (s *Space) Dim() int { return s.n }
 
+// Reset recycles every Num drawn from the space. All previously returned
+// Nums are invalidated: subsequent operations on the space reuse their
+// storage.
+func (s *Space) Reset() { s.used = 0 }
+
+// alloc returns a Num with uninitialized (possibly stale) derivatives; the
+// caller must overwrite every Grad and Hess entry.
+func (s *Space) alloc() *Num {
+	if s.used < len(s.arena) {
+		x := s.arena[s.used]
+		s.used++
+		return x
+	}
+	x := &Num{
+		Grad:  make([]float64, s.n),
+		Hess:  make([]float64, PackedLen(s.n)),
+		space: s,
+	}
+	s.arena = append(s.arena, x)
+	s.used++
+	return x
+}
+
 // Const returns a constant (zero derivatives).
 func (s *Space) Const(v float64) *Num {
-	return &Num{Val: v, Grad: make([]float64, s.n), Hess: make([]float64, PackedLen(s.n))}
+	x := s.alloc()
+	x.Val = v
+	for i := range x.Grad {
+		x.Grad[i] = 0
+	}
+	for i := range x.Hess {
+		x.Hess[i] = 0
+	}
+	return x
 }
 
 // Var returns the i-th independent variable with value v.
@@ -70,7 +114,13 @@ func (s *Space) Vars(vals []float64) []*Num {
 	return xs
 }
 
+// newLike returns a Num for a derived value: from x's arena when x has one
+// (unary/binary overwrite every derivative entry, so no zeroing is needed),
+// freshly allocated otherwise.
 func newLike(x *Num) *Num {
+	if x.space != nil {
+		return x.space.alloc()
+	}
 	return &Num{Grad: make([]float64, len(x.Grad)), Hess: make([]float64, len(x.Hess))}
 }
 
@@ -240,8 +290,16 @@ func LogSumExp(xs []*Num) *Num {
 
 // Softmax returns the softmax of xs.
 func Softmax(xs []*Num) []*Num {
+	return SoftmaxInto(make([]*Num, len(xs)), xs)
+}
+
+// SoftmaxInto writes the softmax of xs into out (len(out) == len(xs)) and
+// returns it, allocating nothing beyond what the xs' arena provides.
+func SoftmaxInto(out, xs []*Num) []*Num {
+	if len(out) != len(xs) {
+		panic("ad: SoftmaxInto length mismatch")
+	}
 	lse := LogSumExp(xs)
-	out := make([]*Num, len(xs))
 	for i, x := range xs {
 		out[i] = Exp(Sub(x, lse))
 	}

@@ -1,0 +1,161 @@
+// Package benchfix builds the fixed-seed fixtures the performance harness
+// measures: a single-source five-band scene for the ELBO/fit kernels and a
+// small multi-source region for joint inference. Both the root package's
+// `go test -bench` benchmarks and cmd/benchreport (which writes
+// BENCH_elbo.json) use these, so every recorded number refers to the same
+// workload across PRs.
+package benchfix
+
+import (
+	"math"
+	"testing"
+
+	"celeste/internal/core"
+	"celeste/internal/elbo"
+	"celeste/internal/geom"
+	"celeste/internal/model"
+	"celeste/internal/psf"
+	"celeste/internal/rng"
+	"celeste/internal/survey"
+	"celeste/internal/vi"
+)
+
+// PixScale is the SDSS-like pixel scale (degrees/pixel) of every fixture.
+const PixScale = 1.1e-4
+
+// SceneImages renders the five-band single-galaxy scene for the kernel
+// benchmarks: one 48x48 image per band with Poisson noise at a fixed seed.
+func SceneImages(seed uint64) ([]*survey.Image, model.CatalogEntry) {
+	r := rng.New(seed)
+	truth := model.CatalogEntry{
+		Pos: geom.Pt2{RA: 0.003, Dec: 0.003}, ProbGal: 1,
+		Flux:       [model.NumBands]float64{10, 15, 20, 23, 25},
+		GalDevFrac: 0.3, GalAxisRatio: 0.6, GalAngle: 0.8, GalScale: 2 * PixScale,
+	}
+	var images []*survey.Image
+	size := 48
+	for band := 0; band < model.NumBands; band++ {
+		w := geom.NewSimpleWCS(truth.Pos.RA-float64(size)/2*PixScale,
+			truth.Pos.Dec-float64(size)/2*PixScale, PixScale)
+		p := psf.Default(1.2)
+		im := &survey.Image{Band: band, W: size, H: size, WCS: w, PSF: p,
+			Iota: 100, Sky: 80, Pixels: make([]float64, size*size)}
+		for i := range im.Pixels {
+			im.Pixels[i] = 80
+		}
+		model.AddExpectedCounts(im.Pixels, size, size, w, p, &truth, band, 100, 6)
+		for i, lam := range im.Pixels {
+			im.Pixels[i] = float64(r.Poisson(lam))
+		}
+		images = append(images, im)
+	}
+	return images, truth
+}
+
+// SingleSourceScene builds the per-source optimization problem over the
+// SceneImages scene plus its initialization.
+func SingleSourceScene(seed uint64) (*elbo.Problem, model.Params) {
+	images, truth := SceneImages(seed)
+	priors := model.DefaultPriors()
+	pb := elbo.NewProblem(&priors, images, truth.Pos, 12)
+	return pb, model.InitialParams(&truth)
+}
+
+// SmallRegion builds a fixed-seed multi-source region for core.Process
+// benchmarks, returning the region, a deterministic config, and a pristine
+// copy of the initial parameters (Process updates Region.Params in place;
+// restore from the copy before each measured run).
+func SmallRegion(seed uint64) (*core.Region, core.Config, []model.Params) {
+	cfg := survey.DefaultConfig(seed)
+	cfg.Region = geom.NewBox(0, 0, 0.014, 0.014)
+	cfg.DeepRegion = geom.Box{}
+	cfg.DeepRuns = 0
+	cfg.Runs = 1
+	cfg.FieldW, cfg.FieldH = 96, 96
+	cfg.SourceDensity = 25000
+	cfg.Priors.R1Mean = [model.NumTypes]float64{math.Log(8), math.Log(10)}
+	cfg.Priors.R1SD = [model.NumTypes]float64{0.5, 0.5}
+	sv := survey.Generate(cfg)
+
+	noisy := sv.NoisyCatalog(seed + 1)
+	priors := model.FitPriors(noisy)
+	rg := &core.Region{
+		Priors:   &priors,
+		Images:   sv.Images,
+		PixScale: sv.Config.PixScale,
+	}
+	for i := range noisy {
+		rg.Sources = append(rg.Sources, i)
+		rg.Entries = append(rg.Entries, &noisy[i])
+		rg.Params = append(rg.Params, model.InitialParams(&noisy[i]))
+	}
+	init := append([]model.Params(nil), rg.Params...)
+
+	pcfg := core.Config{
+		Threads: 4, Rounds: 1, Seed: seed,
+		Fit: vi.Options{MaxIter: 10, GradTol: 1e-3},
+	}
+	return rg, pcfg, init
+}
+
+// The Bench* functions below are the single source of truth for the hot-path
+// benchmark bodies: both `go test -bench HotPath` (bench_test.go) and
+// cmd/benchreport (BENCH_elbo.json) run exactly these, so the recorded perf
+// trajectory always refers to the same workload. Each warms its scratch
+// before the timed loop and returns the total active-pixel visits.
+
+// BenchElboEval measures steady-state derivative evaluation (EvalInto).
+func BenchElboEval(b *testing.B) int64 {
+	pb, init := SingleSourceScene(11)
+	s := elbo.NewScratch()
+	pb.EvalInto(&init, s)
+	var visits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := pb.EvalInto(&init, s)
+		visits += r.Visits
+	}
+	return visits
+}
+
+// BenchElboEvalValue measures the value-only trust-region ratio-test path.
+func BenchElboEvalValue(b *testing.B) int64 {
+	pb, init := SingleSourceScene(11)
+	s := elbo.NewScratch()
+	pb.EvalValueWith(&init, s)
+	var visits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, vis := pb.EvalValueWith(&init, s)
+		visits += vis
+	}
+	return visits
+}
+
+// BenchViFit measures a whole warm-scratch Newton trust-region fit.
+func BenchViFit(b *testing.B) int64 {
+	pb, init := SingleSourceScene(11)
+	s := vi.NewScratch()
+	opts := vi.Options{MaxIter: 25, GradTol: 1e-4}
+	vi.FitWith(pb, init, opts, s)
+	var visits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := vi.FitWith(pb, init, opts, s)
+		visits += r.Visits
+	}
+	return visits
+}
+
+// BenchCoreProcess measures a joint Cyclades sweep over the fixed region.
+func BenchCoreProcess(b *testing.B) int64 {
+	rg, cfg, init := SmallRegion(21)
+	var visits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(rg.Params, init)
+		st := cfg.Process(rg)
+		visits += st.Visits
+	}
+	return visits
+}

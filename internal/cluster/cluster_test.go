@@ -41,6 +41,9 @@ func TestWeakScalingShape(t *testing.T) {
 }
 
 func TestStrongScalingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale strong-scaling simulation; efficiency bands need the full node counts")
+	}
 	results := StrongScaling([]int{2048, 4096, 8192}, 1)
 	t2 := results[0].Components.Total()
 	t4 := results[1].Components.Total()
@@ -90,6 +93,9 @@ func TestTable1Rates(t *testing.T) {
 }
 
 func TestPeakRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale peak-performance simulation; the 1.54 PFLOP/s figure needs all 9568 nodes")
+	}
 	m := DefaultMachine(9568)
 	m.SustainedEff = 1
 	w := DefaultWorkload(9568 * 17 * 4)

@@ -120,6 +120,16 @@ func (cfg Config) Process(rg *Region) Stats {
 		batchSize = 1
 	}
 
+	// Each worker thread owns one fit scratch for the whole sweep: every
+	// source it fits reuses the same ELBO buffers, AD arenas, and
+	// trust-region workspace, so the steady-state inner loop never touches
+	// the heap (Section VI-B budgets the per-source Newton fit as the unit
+	// of work; the scratch is what keeps that unit allocation-free).
+	scratches := make([]*vi.Scratch, cfg.Threads)
+	for t := range scratches {
+		scratches[t] = vi.NewScratch()
+	}
+
 	for round := 0; round < cfg.Rounds; round++ {
 		batches := cyclades.Plan(graph, r, batchSize)
 		for bi := range batches {
@@ -130,14 +140,14 @@ func (cfg Config) Process(rg *Region) Stats {
 					continue
 				}
 				wg.Add(1)
-				go func(comps [][]int) {
+				go func(comps [][]int, sc *vi.Scratch) {
 					defer wg.Done()
 					for _, comp := range comps {
 						for _, li := range comp {
-							cfg.fitOne(rg, graph, li, &stats)
+							cfg.fitOne(rg, graph, li, &stats, sc)
 						}
 					}
-				}(queues[t])
+				}(queues[t], scratches[t])
 			}
 			wg.Wait()
 		}
@@ -146,8 +156,9 @@ func (cfg Config) Process(rg *Region) Stats {
 }
 
 // fitOne fits local source li with its conflict-graph neighbors (current
-// values) and the external fixed neighbors folded into the background.
-func (cfg Config) fitOne(rg *Region, graph *cyclades.Graph, li int, stats *Stats) {
+// values) and the external fixed neighbors folded into the background,
+// reusing the worker's scratch buffers for the fit itself.
+func (cfg Config) fitOne(rg *Region, graph *cyclades.Graph, li int, stats *Stats, sc *vi.Scratch) {
 	cur := rg.Params[li].Constrained()
 	radiusPx := InfluenceRadiusPx(rg.Entries[li], rg.PixScale)
 	pb := elbo.NewProblem(rg.Priors, rg.Images, cur.Pos, radiusPx)
@@ -162,7 +173,7 @@ func (cfg Config) fitOne(rg *Region, graph *cyclades.Graph, li int, stats *Stats
 	for i := range rg.Neighbors {
 		pb.AddNeighbor(&rg.Neighbors[i])
 	}
-	res := vi.Fit(pb, rg.Params[li], cfg.Fit)
+	res := vi.FitWith(pb, rg.Params[li], cfg.Fit, sc)
 	rg.Params[li] = res.Params
 	atomic.AddInt64(&stats.Fits, 1)
 	atomic.AddInt64(&stats.NewtonIters, int64(res.Iters))

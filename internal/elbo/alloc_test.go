@@ -1,0 +1,67 @@
+package elbo_test
+
+import (
+	"testing"
+
+	"celeste/internal/benchfix"
+	"celeste/internal/elbo"
+)
+
+// TestEvalIntoZeroAllocSteadyState pins the tentpole guarantee: once a
+// Scratch is warm, a full derivative evaluation — brightness moments, KL,
+// per-patch evaluator builds, and the 44x44 Hessian assembly — performs zero
+// heap allocations. At the seed this was ~3.7k allocations per evaluation.
+func TestEvalIntoZeroAllocSteadyState(t *testing.T) {
+	pb, init := benchfix.SingleSourceScene(11)
+	s := elbo.NewScratch()
+	pb.EvalInto(&init, s) // warm the arenas and component buffers
+
+	if allocs := testing.AllocsPerRun(10, func() {
+		pb.EvalInto(&init, s)
+	}); allocs != 0 {
+		t.Errorf("EvalInto allocates %v objects per run in steady state, want 0", allocs)
+	}
+}
+
+// TestEvalValueWithZeroAllocSteadyState pins the same guarantee for the
+// value-only path the trust-region ratio test calls.
+func TestEvalValueWithZeroAllocSteadyState(t *testing.T) {
+	pb, init := benchfix.SingleSourceScene(11)
+	s := elbo.NewScratch()
+	pb.EvalValueWith(&init, s)
+
+	if allocs := testing.AllocsPerRun(10, func() {
+		pb.EvalValueWith(&init, s)
+	}); allocs != 0 {
+		t.Errorf("EvalValueWith allocates %v objects per run in steady state, want 0", allocs)
+	}
+}
+
+// TestEvalIntoMatchesEval guards the wrapper contract: Eval (fresh scratch)
+// and EvalInto (reused scratch, evaluated twice to exercise recycling) must
+// produce identical results.
+func TestEvalIntoMatchesEval(t *testing.T) {
+	pb, init := benchfix.SingleSourceScene(12)
+	fresh := pb.Eval(&init)
+
+	s := elbo.NewScratch()
+	pb.EvalInto(&init, s)
+	reused := pb.EvalInto(&init, s)
+
+	if fresh.Value != reused.Value {
+		t.Errorf("value differs: %v vs %v", fresh.Value, reused.Value)
+	}
+	if fresh.Visits != reused.Visits {
+		t.Errorf("visits differ: %d vs %d", fresh.Visits, reused.Visits)
+	}
+	for i := range fresh.Grad {
+		if fresh.Grad[i] != reused.Grad[i] {
+			t.Fatalf("gradient[%d] differs: %v vs %v", i, fresh.Grad[i], reused.Grad[i])
+		}
+	}
+	for i := range fresh.Hess.Data {
+		if fresh.Hess.Data[i] != reused.Hess.Data[i] {
+			t.Fatalf("hessian[%d] differs: %v vs %v", i, fresh.Hess.Data[i], reused.Hess.Data[i])
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"celeste/internal/geom"
 	"celeste/internal/linalg"
 	"celeste/internal/model"
+	"celeste/internal/mog"
 )
 
 // Result is a full objective evaluation: value, gradient, Hessian, and the
@@ -26,20 +27,30 @@ const activeDim = 6 + brightDim
 
 // Eval computes the ELBO restricted to this source's block: the sum of
 // per-pixel delta-method Poisson terms minus the KL from the priors, with
-// exact gradient and Hessian.
+// exact gradient and Hessian. It allocates a fresh Scratch per call, so the
+// returned Result is owned by the caller; hot paths should hold a Scratch
+// and use EvalInto instead.
 func (pb *Problem) Eval(theta *model.Params) *Result {
-	res := &Result{Hess: linalg.NewMat(model.ParamDim, model.ParamDim)}
+	return pb.EvalInto(theta, NewScratch())
+}
 
-	bm := computeBrightMoments(theta)
+// EvalInto is Eval evaluating into s's buffers. The returned Result (and its
+// gradient and Hessian) is owned by s and valid until the next EvalInto with
+// the same scratch; steady-state calls perform zero heap allocations.
+func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
+	s.reset()
+	res := &s.res
+
+	bm := s.computeBrightMoments(theta)
 
 	// Per-pixel accumulation into the active 28x28 block.
 	var grad [activeDim]float64
-	hess := linalg.NewMat(activeDim, activeDim) // lower triangle
+	hess := s.activeHess // lower triangle
 
 	var gm, ge2 [activeDim]float64 // scratch: ∇m, ∇e2 per pixel
 
 	for _, p := range pb.Patches {
-		ev := buildEvaluator(theta, p)
+		ev := s.buildEvaluator(theta, p)
 		srcX, srcY := p.WCS.WorldToPix(pbPos(theta))
 		iota := p.Iota
 		b := p.Band
@@ -156,7 +167,7 @@ func (pb *Problem) Eval(theta *model.Params) *Result {
 	}
 
 	// KL terms (subtracted from the ELBO).
-	kl := computeKL(theta, pb.Priors)
+	kl := s.computeKL(theta, pb.Priors)
 	res.Value -= kl.Val
 	for l := 0; l < klDim; l++ {
 		res.Grad[klGlobal[l]] -= kl.Grad[l]
@@ -189,6 +200,12 @@ func (pb *Problem) Eval(theta *model.Params) *Result {
 // EvalValue computes the objective value only (no derivatives), used for
 // trust-region ratio tests. It also returns the visit count.
 func (pb *Problem) EvalValue(theta *model.Params) (float64, int64) {
+	return pb.EvalValueWith(theta, NewScratch())
+}
+
+// EvalValueWith is EvalValue using s's buffers for the per-patch galaxy
+// appearance mixture; steady-state calls perform zero heap allocations.
+func (pb *Problem) EvalValueWith(theta *model.Params, s *Scratch) (float64, int64) {
 	c := theta.Constrained()
 	m1s, m2s := model.FluxMoments(c.R1[model.Star], c.R2[model.Star], c.C1[model.Star], c.C2[model.Star])
 	m1g, m2g := model.FluxMoments(c.R1[model.Gal], c.R2[model.Gal], c.C1[model.Gal], c.C2[model.Gal])
@@ -197,8 +214,12 @@ func (pb *Problem) EvalValue(theta *model.Params) (float64, int64) {
 	var value float64
 	var visits int64
 	for _, p := range pb.Patches {
-		star := p.PSF
-		gal := galaxyMixtureFor(&c, p)
+		// Compile the star and galaxy appearance mixtures once per patch:
+		// per-pixel evaluation is then one quadratic form and at most one
+		// exponential per component, truncated exactly like the derivative
+		// path.
+		s.starV = mog.CompileInto(s.starV[:0], p.PSF)
+		s.galV = mog.CompileInto(s.galV[:0], s.galaxyMixtureInto(&c, p))
 		px, py := p.WCS.WorldToPix(c.Pos)
 		iota := p.Iota
 		b := p.Band
@@ -212,8 +233,8 @@ func (pb *Problem) EvalValue(theta *model.Params) (float64, int64) {
 				obs, bg, vbg := p.Obs[k], p.Bg[k], p.VBg[k]
 				k++
 				visits++
-				gs := star.Eval(float64(x)-px, float64(y)-py)
-				gg := gal.Eval(float64(x)-px, float64(y)-py)
+				gs := mog.EvalComps(s.starV, float64(x)-px, float64(y)-py)
+				gg := mog.EvalComps(s.galV, float64(x)-px, float64(y)-py)
 				m := aV*gs + bV*gg
 				e2 := cV*gs*gs + dV*gg*gg
 				ef := bg + m

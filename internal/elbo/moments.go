@@ -52,21 +52,22 @@ type brightMoments struct {
 }
 
 // computeBrightMoments differentiates the flux moments with respect to the
-// 22 brightness coordinates at the current parameter values.
-func computeBrightMoments(theta *model.Params) *brightMoments {
-	s := ad.NewSpace(brightDim)
-	vars := make([]*ad.Num, brightDim)
+// 22 brightness coordinates at the current parameter values, reusing the
+// scratch's AD arena and slot arrays so steady-state calls allocate nothing.
+func (s *Scratch) computeBrightMoments(theta *model.Params) *brightMoments {
+	s.bmSpace.Reset()
+	vars := s.bmVars[:]
 	for l := 0; l < brightDim; l++ {
-		vars[l] = s.Var(theta[brightGlobal[l]], l)
+		vars[l] = s.bmSpace.Var(theta[brightGlobal[l]], l)
 	}
-	chi := ad.Softmax([]*ad.Num{vars[0], vars[1]}) // [star, gal]
+	chi := ad.SoftmaxInto(s.bmChi[:], vars[0:2]) // [star, gal]
 
-	bm := &brightMoments{}
+	bm := &s.bm
 	for t := 0; t < model.NumTypes; t++ {
 		r1 := vars[2+t]
 		r2 := ad.Exp(vars[4+t])
 		c1 := vars[6+4*t : 6+4*t+4]
-		c2 := make([]*ad.Num, model.NumColors)
+		c2 := s.bmC2[:]
 		for i := 0; i < model.NumColors; i++ {
 			c2[i] = ad.Exp(vars[14+4*t+i])
 		}
@@ -99,15 +100,19 @@ func computeBrightMoments(theta *model.Params) *brightMoments {
 // in the KL subspace (global indices 6..43):
 //
 //	KL(q(a)||p(a)) + Σ_t q(a=t)·[KL_r(t) + KL_k(t) + Σ_d q(k=d)·KL_c(t,d)]
-func computeKL(theta *model.Params, priors *model.Priors) *ad.Num {
-	s := ad.NewSpace(klDim)
-	vars := make([]*ad.Num, klDim)
+//
+// Like computeBrightMoments, it draws every intermediate from the scratch's
+// KL arena, so steady-state calls allocate nothing.
+func (sc *Scratch) computeKL(theta *model.Params, priors *model.Priors) *ad.Num {
+	s := sc.klSpace
+	s.Reset()
+	vars := sc.klVars[:]
 	for l := 0; l < klDim; l++ {
 		vars[l] = s.Var(theta[klGlobal[l]], l)
 	}
 	at := func(global int) *ad.Num { return vars[global-6] }
 
-	chi := ad.Softmax([]*ad.Num{at(model.ParamTypeStar), at(model.ParamTypeGal)})
+	chi := ad.SoftmaxInto(sc.klChi[:], vars[model.ParamTypeStar-6:model.ParamTypeGal-6+1])
 	priorChi := [2]float64{1 - priors.ProbGal, priors.ProbGal}
 
 	// KL of the type indicator.
@@ -134,12 +139,10 @@ func computeKL(theta *model.Params, priors *model.Priors) *ad.Num {
 			ad.Scale(1/pv, ad.Add(r2, ad.Sqr(d))),
 			ad.AddConst(ad.Neg(ad.Log(ad.Scale(1/pv, r2))), -1)))
 
-		// Categorical responsibilities against the prior mixture weights.
-		klogits := make([]*ad.Num, model.NumPriorComps)
-		for dd := 0; dd < model.NumPriorComps; dd++ {
-			klogits[dd] = at(model.ParamK + model.NumPriorComps*t + dd)
-		}
-		k := ad.Softmax(klogits)
+		// Categorical responsibilities against the prior mixture weights
+		// (their logits are contiguous in the parameter vector).
+		klogits := vars[model.ParamK-6+model.NumPriorComps*t : model.ParamK-6+model.NumPriorComps*(t+1)]
+		k := ad.SoftmaxInto(sc.klK[:], klogits)
 		var klK *ad.Num
 		for dd := 0; dd < model.NumPriorComps; dd++ {
 			term := ad.Mul(k[dd], ad.Sub(ad.Log(k[dd]),
@@ -220,11 +223,12 @@ func klValue(theta *model.Params, priors *model.Priors) float64 {
 	return total
 }
 
-// BuildEvaluator constructs the spatial dual evaluator for one patch at the
-// current shape parameters.
-func buildEvaluator(theta *model.Params, p *Patch) *mog.Evaluator {
-	return mog.NewEvaluator(p.PSF, expProf, devProf,
+// buildEvaluator (re)builds the scratch's spatial dual evaluator for one
+// patch at the current shape parameters, reusing its component storage.
+func (s *Scratch) buildEvaluator(theta *model.Params, p *Patch) *mog.Evaluator {
+	s.ev.Build(p.PSF, expProf, devProf,
 		theta[model.ParamGalDevLogit], theta[model.ParamGalABLogit],
 		theta[model.ParamGalAngle], theta[model.ParamGalLogScale],
 		model.JacFromWCS(p.WCS))
+	return &s.ev
 }

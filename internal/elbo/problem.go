@@ -150,14 +150,26 @@ func addNeighborToPatch(p *Patch, c *model.Constrained) {
 // galaxyMixtureFor builds the neighbor's galaxy appearance mixture centered
 // at the origin (offsets applied during evaluation).
 func galaxyMixtureFor(c *model.Constrained, p *Patch) mog.Mixture {
-	rho := c.GalDevFrac
-	var comb []mog.ProfComp
+	comb := appendProfileBlend(nil, c.GalDevFrac)
+	return mog.GalaxyMixture(p.PSF, comb, clampAB(c.GalAxisRatio), c.GalAngle,
+		clampScale(c.GalScale), model.JacFromWCS(p.WCS))
+}
+
+// appendProfileBlend appends the galaxy's radial-profile mixture — the
+// exponential and de Vaucouleurs components blended by the deV fraction rho —
+// to dst and returns it. Both the neighbor path and the value-only
+// evaluation path build their mixtures from this one blend.
+func appendProfileBlend(dst []mog.ProfComp, rho float64) []mog.ProfComp {
 	for _, pc := range expProf {
-		comb = append(comb, mog.ProfComp{Weight: (1 - rho) * pc.Weight, Var: pc.Var})
+		dst = append(dst, mog.ProfComp{Weight: (1 - rho) * pc.Weight, Var: pc.Var})
 	}
 	for _, pc := range devProf {
-		comb = append(comb, mog.ProfComp{Weight: rho * pc.Weight, Var: pc.Var})
+		dst = append(dst, mog.ProfComp{Weight: rho * pc.Weight, Var: pc.Var})
 	}
-	return mog.GalaxyMixture(p.PSF, comb, math.Max(c.GalAxisRatio, 0.02), c.GalAngle,
-		math.Max(c.GalScale, 1e-8), model.JacFromWCS(p.WCS))
+	return dst
 }
+
+// clampAB and clampScale keep degenerate galaxy shapes (collapsed axis ratio
+// or scale) numerically evaluable.
+func clampAB(ab float64) float64       { return math.Max(ab, 0.02) }
+func clampScale(scale float64) float64 { return math.Max(scale, 1e-8) }

@@ -1,0 +1,70 @@
+package elbo
+
+import (
+	"celeste/internal/ad"
+	"celeste/internal/linalg"
+	"celeste/internal/model"
+	"celeste/internal/mog"
+)
+
+// Scratch owns every buffer one objective evaluation needs: the Result
+// (with its 44x44 Hessian), the 28x28 active-block accumulator, the spatial
+// dual evaluator, the AD arenas for the brightness-moment and KL subgraphs,
+// and the value-path mixture buffers. One Scratch serves one goroutine; after
+// the first evaluation warms it, EvalInto and EvalValueWith perform zero heap
+// allocations. A Cyclades worker owns one Scratch for its whole sweep.
+type Scratch struct {
+	res        Result
+	activeHess *linalg.Mat // activeDim x activeDim, lower triangle
+	ev         mog.Evaluator
+
+	// Brightness-moment AD subgraph (dimension brightDim).
+	bmSpace *ad.Space
+	bmVars  [brightDim]*ad.Num
+	bmChi   [2]*ad.Num
+	bmC2    [model.NumColors]*ad.Num
+	bm      brightMoments
+
+	// KL AD subgraph (dimension klDim).
+	klSpace *ad.Space
+	klVars  [klDim]*ad.Num
+	klChi   [2]*ad.Num
+	klK     [model.NumPriorComps]*ad.Num
+
+	// Value-only path buffers.
+	comb   []mog.ProfComp
+	galMix mog.Mixture
+	starV  []mog.ValueComp
+	galV   []mog.ValueComp
+}
+
+// NewScratch returns a Scratch ready for evaluations of any Problem.
+func NewScratch() *Scratch {
+	return &Scratch{
+		res:        Result{Hess: linalg.NewMat(model.ParamDim, model.ParamDim)},
+		activeHess: linalg.NewMat(activeDim, activeDim),
+		bmSpace:    ad.NewSpace(brightDim),
+		klSpace:    ad.NewSpace(klDim),
+	}
+}
+
+// reset prepares the scratch for a fresh derivative evaluation.
+func (s *Scratch) reset() {
+	s.res.Value = 0
+	s.res.Visits = 0
+	for i := range s.res.Grad {
+		s.res.Grad[i] = 0
+	}
+	s.res.Hess.Zero()
+	s.activeHess.Zero()
+}
+
+// galaxyMixtureInto builds the value-path galaxy appearance mixture for one
+// patch into the scratch buffers (see galaxyMixtureFor).
+func (s *Scratch) galaxyMixtureInto(c *model.Constrained, p *Patch) mog.Mixture {
+	s.comb = appendProfileBlend(s.comb[:0], c.GalDevFrac)
+	s.galMix = mog.GalaxyMixtureInto(s.galMix[:0], p.PSF, s.comb,
+		clampAB(c.GalAxisRatio), c.GalAngle, clampScale(c.GalScale),
+		model.JacFromWCS(p.WCS))
+	return s.galMix
+}

@@ -264,29 +264,40 @@ func SolveLowerTriangular(l *Mat, y, b []float64) {
 // input).
 func EigenSym(a *Mat) (w []float64, v *Mat, err error) {
 	n := a.Rows
+	w = make([]float64, n)
+	v = NewMat(n, n)
+	if err := EigenSymInto(a, w, v, make([]float64, n)); err != nil {
+		return nil, nil, err
+	}
+	return w, v, nil
+}
+
+// EigenSymInto is EigenSym writing into caller-owned storage: eigenvalues
+// into w (len n, ascending), eigenvectors into the columns of v (n x n), with
+// e (len n) as subdiagonal scratch. It allocates nothing, so a reused
+// workspace makes repeated decompositions allocation-free.
+func EigenSymInto(a *Mat, w []float64, v *Mat, e []float64) error {
+	n := a.Rows
 	if a.Cols != n {
 		panic("linalg: EigenSym requires a square matrix")
 	}
-	v = NewMat(n, n)
+	if len(w) != n || v.Rows != n || v.Cols != n || len(e) != n {
+		panic("linalg: EigenSymInto storage size mismatch")
+	}
 	// Symmetrize into v from the lower triangle, rejecting non-finite input
 	// (the QL iteration would otherwise scan past its bounds chasing NaNs).
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			x := a.At(i, j)
 			if math.IsNaN(x) || math.IsInf(x, 0) {
-				return nil, nil, errors.New("linalg: non-finite matrix entry")
+				return errors.New("linalg: non-finite matrix entry")
 			}
 			v.Set(i, j, x)
 			v.Set(j, i, x)
 		}
 	}
-	d := make([]float64, n)
-	e := make([]float64, n)
-	tred2(v, d, e)
-	if err := tql2(v, d, e); err != nil {
-		return nil, nil, err
-	}
-	return d, v, nil
+	tred2(v, w, e)
+	return tql2(v, w, e)
 }
 
 // tred2 reduces the symmetric matrix stored in v to tridiagonal form using

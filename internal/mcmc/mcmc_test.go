@@ -95,8 +95,12 @@ func TestSamplerRecoversStar(t *testing.T) {
 	init.Flux[model.RefBand] *= 1.4
 	start := InitState(&init)
 
+	samples, burn := 1500, 500
+	if testing.Short() {
+		samples, burn = 700, 250 // enough mixing for the same recovery bands
+	}
 	r := rng.New(4)
-	res := pb.Run(start, r, Options{Samples: 1500, BurnIn: 500})
+	res := pb.Run(start, r, Options{Samples: samples, BurnIn: burn})
 
 	if res.ProbGal > 0.1 {
 		t.Errorf("P(gal) = %v for a clear star", res.ProbGal)
@@ -116,7 +120,7 @@ func TestSamplerRecoversStar(t *testing.T) {
 	if res.AcceptanceRate < 0.05 || res.AcceptanceRate > 0.95 {
 		t.Errorf("acceptance rate %v outside sane range", res.AcceptanceRate)
 	}
-	if res.LogLikeEvals < 3000 {
+	if res.LogLikeEvals < int64(2*(samples+burn)) {
 		t.Errorf("expected thousands of likelihood evaluations, got %d", res.LogLikeEvals)
 	}
 }
@@ -128,9 +132,13 @@ func TestSamplerAgreesWithVI(t *testing.T) {
 	truth := starTruth()
 	images, priors := makeScene(5, truth)
 
+	samples, burn := 1200, 400
+	if testing.Short() {
+		samples, burn = 600, 200 // the 3-sigma agreement band absorbs the noise
+	}
 	pbm := NewProblem(&priors, images, truth.Pos, 10)
 	r := rng.New(6)
-	mres := pbm.Run(InitState(&truth), r, Options{Samples: 1200, BurnIn: 400})
+	mres := pbm.Run(InitState(&truth), r, Options{Samples: samples, BurnIn: burn})
 
 	// VI via the public-facing machinery.
 	viFlux, viSD := fitVIFlux(t, images, &priors, truth)

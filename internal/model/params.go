@@ -94,8 +94,11 @@ func (p *Params) Constrained() Constrained {
 	c.GalAxisRatio = mathx.Logistic(p[ParamGalABLogit])
 	c.GalAngle = mathx.WrapAngle(p[ParamGalAngle])
 	c.GalScale = math.Exp(p[ParamGalLogScale])
-	sm := make([]float64, 2)
-	mathx.Softmax(sm, []float64{p[ParamTypeStar], p[ParamTypeGal]})
+	// Stack buffers keep this allocation-free: it runs once per value-only
+	// objective evaluation inside the Newton trust-region loop.
+	var sm, types [2]float64
+	types[0], types[1] = p[ParamTypeStar], p[ParamTypeGal]
+	mathx.Softmax(sm[:], types[:])
 	c.ProbGal = sm[1]
 	for t := 0; t < NumTypes; t++ {
 		c.R1[t] = p[ParamR1+t]
@@ -104,13 +107,11 @@ func (p *Params) Constrained() Constrained {
 			c.C1[t][i] = p[ParamC1+4*t+i]
 			c.C2[t][i] = math.Exp(p[ParamC2+4*t+i])
 		}
-		ks := make([]float64, NumPriorComps)
+		var ks [NumPriorComps]float64
 		for d := 0; d < NumPriorComps; d++ {
 			ks[d] = p[ParamK+NumPriorComps*t+d]
 		}
-		out := make([]float64, NumPriorComps)
-		mathx.Softmax(out, ks)
-		copy(c.K[t][:], out)
+		mathx.Softmax(c.K[t][:], ks[:])
 	}
 	return c
 }

@@ -21,6 +21,60 @@ type FullObjective func(x []float64) (f float64, g []float64, h *linalg.Mat)
 // ratio tests).
 type ValueObjective func(x []float64) float64
 
+// Objective is the workspace-friendly objective for NewtonTRWS: Full returns
+// value, gradient, and Hessian (the optimizer only reads them until the next
+// Full call, so the implementation may reuse its own buffers); Value returns
+// the value alone for trust-region ratio tests.
+type Objective interface {
+	Full(x []float64) (f float64, g []float64, h *linalg.Mat)
+	Value(x []float64) float64
+}
+
+// funcObjective adapts the function-typed API to Objective.
+type funcObjective struct {
+	full  FullObjective
+	value ValueObjective
+}
+
+func (o funcObjective) Full(x []float64) (float64, []float64, *linalg.Mat) { return o.full(x) }
+func (o funcObjective) Value(x []float64) float64                          { return o.value(x) }
+
+// Workspace holds every buffer a NewtonTRWS run needs: the iterate and trial
+// point, the subproblem step, and the Cholesky/eigendecomposition storage.
+// Reusing one Workspace across fits makes the optimizer's own linear algebra
+// allocation-free; a workspace serves one optimization at a time.
+type Workspace struct {
+	n             int
+	x, trial, p   []float64
+	ghat          []float64
+	chol          *linalg.Mat
+	eigVecs       *linalg.Mat
+	eigVals, eigE []float64
+}
+
+// NewWorkspace returns a Workspace for n-dimensional problems.
+func NewWorkspace(n int) *Workspace {
+	w := &Workspace{}
+	w.ensure(n)
+	return w
+}
+
+// ensure sizes the workspace for dimension n, reallocating only on change.
+func (w *Workspace) ensure(n int) {
+	if w.n == n {
+		return
+	}
+	w.n = n
+	w.x = make([]float64, n)
+	w.trial = make([]float64, n)
+	w.p = make([]float64, n)
+	w.ghat = make([]float64, n)
+	w.chol = linalg.NewMat(n, n)
+	w.eigVecs = linalg.NewMat(n, n)
+	w.eigVals = make([]float64, n)
+	w.eigE = make([]float64, n)
+}
+
 // Result reports an optimization run.
 type Result struct {
 	X         []float64
@@ -66,17 +120,28 @@ func (o *TROptions) defaults() {
 // paths), which handles indefinite Hessians — the reason the paper pairs
 // Newton's method with a trust region on its nonconvex objective.
 func NewtonTR(full FullObjective, value ValueObjective, x0 []float64, opts TROptions) Result {
+	return NewtonTRWS(funcObjective{full, value}, x0, NewWorkspace(len(x0)), opts)
+}
+
+// NewtonTRWS is NewtonTR running entirely inside ws: the iterate, trial
+// point, step, and factorization storage all live in the workspace, so with
+// an objective that also reuses its buffers a whole optimization allocates
+// nothing. Result.X aliases workspace storage and is valid until the next
+// NewtonTRWS call with the same workspace.
+func NewtonTRWS(obj Objective, x0 []float64, ws *Workspace, opts TROptions) Result {
 	opts.defaults()
 	n := len(x0)
-	x := append([]float64(nil), x0...)
+	ws.ensure(n)
+	x := ws.x
+	copy(x, x0)
 	res := Result{X: x}
 
 	radius := opts.InitRadius
-	f, g, h := full(x)
+	f, g, h := obj.Full(x)
 	res.FullEvals++
 	res.F = f
 
-	trial := make([]float64, n)
+	trial := ws.trial
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		res.Iters = iter + 1
 		gnorm := infNorm(g)
@@ -87,7 +152,7 @@ func NewtonTR(full FullObjective, value ValueObjective, x0 []float64, opts TROpt
 			return res
 		}
 
-		p, predicted := solveTRSubproblem(h, g, radius)
+		p, predicted := solveTRSubproblem(ws, h, g, radius)
 		if predicted >= 0 {
 			// No descent possible within the model; shrink and retry.
 			radius *= 0.25
@@ -101,7 +166,7 @@ func NewtonTR(full FullObjective, value ValueObjective, x0 []float64, opts TROpt
 		for i := range trial {
 			trial[i] = x[i] + p[i]
 		}
-		ft := value(trial)
+		ft := obj.Value(trial)
 		res.ValEvals++
 		actual := ft - f
 		rho := actual / predicted // both negative for progress
@@ -116,7 +181,7 @@ func NewtonTR(full FullObjective, value ValueObjective, x0 []float64, opts TROpt
 		}
 		if rho > 1e-4 && actual < 0 && !math.IsNaN(ft) {
 			copy(x, trial)
-			f, g, h = full(x)
+			f, g, h = obj.Full(x)
 			res.FullEvals++
 			res.F = f
 		}
@@ -136,13 +201,14 @@ func NewtonTR(full FullObjective, value ValueObjective, x0 []float64, opts TROpt
 // ||p|| <= radius, and the predicted change in objective (negative for
 // descent). Fast path: if H is positive definite (checked by Cholesky) and
 // the Newton step is interior, return it. Otherwise solve the secular
-// equation using the eigendecomposition (Moré–Sorensen).
-func solveTRSubproblem(h *linalg.Mat, g []float64, radius float64) ([]float64, float64) {
+// equation using the eigendecomposition (Moré–Sorensen). The returned step
+// aliases ws.p; all factorization storage comes from ws.
+func solveTRSubproblem(ws *Workspace, h *linalg.Mat, g []float64, radius float64) ([]float64, float64) {
 	n := len(g)
-	p := make([]float64, n)
+	p := ws.p
 
 	// Cholesky fast path.
-	l := linalg.NewMat(n, n)
+	l := ws.chol
 	if err := linalg.Cholesky(l, h); err == nil {
 		linalg.SolveCholesky(l, p, g)
 		for i := range p {
@@ -154,11 +220,14 @@ func solveTRSubproblem(h *linalg.Mat, g []float64, radius float64) ([]float64, f
 	}
 
 	// Eigendecomposition path.
-	w, v, err := linalg.EigenSym(h)
-	if err != nil {
+	w, v := ws.eigVals, ws.eigVecs
+	if err := linalg.EigenSymInto(h, w, v, ws.eigE); err != nil {
 		// Numerical disaster: fall back to steepest descent to the boundary.
 		gn := linalg.Norm2(g)
 		if gn == 0 {
+			for i := range p {
+				p[i] = 0
+			}
 			return p, 0
 		}
 		for i := range p {
@@ -167,7 +236,7 @@ func solveTRSubproblem(h *linalg.Mat, g []float64, radius float64) ([]float64, f
 		return p, modelChange(h, g, p)
 	}
 	// ghat = Vᵀ g.
-	ghat := make([]float64, n)
+	ghat := ws.ghat
 	for j := 0; j < n; j++ {
 		var s float64
 		for i := 0; i < n; i++ {
@@ -296,6 +365,7 @@ func LBFGS(fg func(x []float64) (float64, []float64), x0 []float64, opts LBFGSOp
 	var hist []pair
 	dir := make([]float64, n)
 	alpha := make([]float64, opts.Memory)
+	trial := make([]float64, n)
 
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		res.Iters = iter + 1
@@ -343,7 +413,6 @@ func LBFGS(fg func(x []float64) (float64, []float64), x0 []float64, opts LBFGSOp
 		gd := linalg.Dot(g, dir)
 		var ft float64
 		var gt []float64
-		trial := make([]float64, n)
 		accepted := false
 		for ls := 0; ls < 50; ls++ {
 			for i := range trial {

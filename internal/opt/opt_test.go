@@ -143,7 +143,7 @@ func TestTRSubproblemRespectsRadius(t *testing.T) {
 			g[i] = r.Normal()
 		}
 		radius := 0.1 + r.Float64()
-		p, pred := solveTRSubproblem(h, g, radius)
+		p, pred := solveTRSubproblem(NewWorkspace(n), h, g, radius)
 		if linalg.Norm2(p) > radius*(1+1e-6) {
 			t.Fatalf("step length %v exceeds radius %v", linalg.Norm2(p), radius)
 		}

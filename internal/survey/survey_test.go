@@ -9,6 +9,10 @@ import (
 	"celeste/internal/rng"
 )
 
+// smallConfig is the shared synthesis configuration. Under -short the region
+// and epoch counts shrink (fewer pixels to render); the full sizes remain
+// the default-mode assertion target. Tests derive probe points and boxes
+// from the config so both modes exercise the same invariants.
 func smallConfig(seed uint64) Config {
 	cfg := DefaultConfig(seed)
 	cfg.Region = geom.NewBox(0, 0, 0.04, 0.04)
@@ -17,6 +21,11 @@ func smallConfig(seed uint64) Config {
 	cfg.Runs = 2
 	cfg.DeepRuns = 4
 	cfg.SourceDensity = 3000
+	if testing.Short() {
+		cfg.Region = geom.NewBox(0, 0, 0.02, 0.02)
+		cfg.DeepRegion = geom.NewBox(0, 0, 0.02, 0.01)
+		cfg.DeepRuns = 2
+	}
 	return cfg
 }
 
@@ -57,8 +66,11 @@ func TestCoverage(t *testing.T) {
 	// every band; the deep region by Runs + DeepRuns.
 	cfg := s.Config
 	probe := []geom.Pt2{
-		{RA: 0.01, Dec: 0.03}, // shallow area
-		{RA: 0.02, Dec: 0.01}, // deep area
+		// Shallow area: centered in RA, above the deep strip in Dec.
+		{RA: cfg.Region.MinRA + 0.25*cfg.Region.Width(),
+			Dec: (cfg.DeepRegion.MaxDec + cfg.Region.MaxDec) / 2},
+		// Deep area: the deep strip's center.
+		cfg.DeepRegion.Center(),
 	}
 	for pi, p := range probe {
 		count := make(map[int]int) // band -> cover count
@@ -134,7 +146,7 @@ func TestBrightSourceVisible(t *testing.T) {
 	// Inject one bright star manually and re-render one image.
 	e := model.CatalogEntry{
 		ID:   0,
-		Pos:  geom.Pt2{RA: 0.02, Dec: 0.02},
+		Pos:  cfg.Region.Center(),
 		Flux: [model.NumBands]float64{50, 50, 50, 50, 50},
 	}
 	s.Truth = append(s.Truth, e)
@@ -187,7 +199,10 @@ func TestNoisyCatalogPerturbsButTracks(t *testing.T) {
 
 func TestCoaddIncreasesDepth(t *testing.T) {
 	s := Generate(smallConfig(6))
-	box := geom.NewBox(0.005, 0.002, 0.035, 0.018) // inside the deep region
+	deep := s.Config.DeepRegion
+	box := geom.NewBox( // inset within the deep region
+		deep.MinRA+0.125*deep.Width(), deep.MinDec+0.1*deep.Height(),
+		deep.MaxRA-0.125*deep.Width(), deep.MaxDec-0.1*deep.Height())
 	co := s.Coadd(box, model.RefBand)
 	if co == nil {
 		t.Fatal("no coadd produced")

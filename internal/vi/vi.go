@@ -47,44 +47,80 @@ type FitResult struct {
 	TotalSeconds float64
 }
 
+// Scratch owns every buffer a fit needs — the ELBO evaluation scratch, the
+// trust-region workspace, and the negated-gradient buffer — and doubles as
+// the opt.Objective the optimizer calls. One Scratch serves one goroutine;
+// after the first fit warms it, FitWith performs zero steady-state heap
+// allocations, which is what lets a Cyclades worker sweep thousands of
+// sources without touching the garbage collector.
+type Scratch struct {
+	es *elbo.Scratch
+	ws *opt.Workspace
+	g  []float64
+
+	// Per-fit state while a FitWith call is running.
+	pb      *elbo.Problem
+	theta   model.Params
+	visits  int64
+	evalSec float64
+}
+
+// NewScratch returns a Scratch ready for any per-source fit.
+func NewScratch() *Scratch {
+	return &Scratch{
+		es: elbo.NewScratch(),
+		ws: opt.NewWorkspace(model.ParamDim),
+		g:  make([]float64, model.ParamDim),
+	}
+}
+
+// Full implements opt.Objective: the negated ELBO with gradient and Hessian
+// (opt minimizes). The returned slices are scratch-owned and valid until the
+// next call.
+func (s *Scratch) Full(x []float64) (float64, []float64, *linalg.Mat) {
+	copy(s.theta[:], x)
+	t0 := time.Now()
+	r := s.pb.EvalInto(&s.theta, s.es)
+	s.evalSec += time.Since(t0).Seconds()
+	s.visits += r.Visits
+	for i := range s.g {
+		s.g[i] = -r.Grad[i]
+	}
+	h := r.Hess
+	for i := range h.Data {
+		h.Data[i] = -h.Data[i]
+	}
+	return -r.Value, s.g, h
+}
+
+// Value implements opt.Objective: the negated ELBO value only.
+func (s *Scratch) Value(x []float64) float64 {
+	copy(s.theta[:], x)
+	t0 := time.Now()
+	v, vis := s.pb.EvalValueWith(&s.theta, s.es)
+	s.evalSec += time.Since(t0).Seconds()
+	s.visits += vis
+	return -v
+}
+
 // Fit maximizes the problem's ELBO from the given initialization with
 // Newton trust region, the paper's method of choice ("converges reliably on
-// our problem in tens of iterations", Section IV-D).
+// our problem in tens of iterations", Section IV-D). It allocates a fresh
+// Scratch per call; hot paths fitting many sources should hold a Scratch and
+// use FitWith.
 func Fit(pb *elbo.Problem, init model.Params, o Options) FitResult {
+	return FitWith(pb, init, o, NewScratch())
+}
+
+// FitWith is Fit evaluating and optimizing entirely inside s's buffers.
+func FitWith(pb *elbo.Problem, init model.Params, o Options, s *Scratch) FitResult {
 	o.defaults()
-	var visits int64
-	var evalSec float64
+	s.pb = pb
+	s.visits = 0
+	s.evalSec = 0
 	start := time.Now()
 
-	full := func(x []float64) (float64, []float64, *linalg.Mat) {
-		var p model.Params
-		copy(p[:], x)
-		t0 := time.Now()
-		r := pb.Eval(&p)
-		evalSec += time.Since(t0).Seconds()
-		visits += r.Visits
-		// Negate: opt minimizes.
-		g := make([]float64, model.ParamDim)
-		for i := range g {
-			g[i] = -r.Grad[i]
-		}
-		h := r.Hess
-		for i := range h.Data {
-			h.Data[i] = -h.Data[i]
-		}
-		return -r.Value, g, h
-	}
-	value := func(x []float64) float64 {
-		var p model.Params
-		copy(p[:], x)
-		t0 := time.Now()
-		v, vis := pb.EvalValue(&p)
-		evalSec += time.Since(t0).Seconds()
-		visits += vis
-		return -v
-	}
-
-	res := opt.NewtonTR(full, value, init[:], opt.TROptions{
+	res := opt.NewtonTRWS(s, init[:], s.ws, opt.TROptions{
 		MaxIter: o.MaxIter,
 		GradTol: o.GradTol,
 		// Parameters mix degree-scale positions with O(1) logits; a modest
@@ -93,6 +129,7 @@ func Fit(pb *elbo.Problem, init model.Params, o Options) FitResult {
 		InitRadius: 0.5,
 		MaxRadius:  32,
 	})
+	s.pb = nil // release the problem for the GC between fits
 
 	var out FitResult
 	copy(out.Params[:], res.X)
@@ -100,10 +137,10 @@ func Fit(pb *elbo.Problem, init model.Params, o Options) FitResult {
 	out.Iters = res.Iters
 	out.FullEvals = res.FullEvals
 	out.ValEvals = res.ValEvals
-	out.Visits = visits
+	out.Visits = s.visits
 	out.Converged = res.Converged
 	out.Status = res.Status
-	out.EvalSeconds = evalSec
+	out.EvalSeconds = s.evalSec
 	out.TotalSeconds = time.Since(start).Seconds()
 	return out
 }

@@ -147,8 +147,12 @@ func TestFitImprovesELBO(t *testing.T) {
 
 func TestMoreEpochsTightenUncertainty(t *testing.T) {
 	truth := starTruth()
+	epochs := 4
+	if testing.Short() {
+		epochs = 3 // same shrink-with-data assertion on a cheaper scene
+	}
 	pb1, init1 := makeScene(t, 404, truth, 1)
-	pb4, init4 := makeScene(t, 404, truth, 4)
+	pb4, init4 := makeScene(t, 404, truth, epochs)
 	r1 := Fit(pb1, init1, Options{})
 	r4 := Fit(pb4, init4, Options{})
 	c1 := r1.Params.Constrained()
@@ -165,8 +169,12 @@ func TestUncertaintyCovers(t *testing.T) {
 	// Repeated fits on fresh noise realizations: the posterior SD should be
 	// in the right ballpark — |z| rarely extreme.
 	truth := starTruth()
+	reps := 5
+	if testing.Short() {
+		reps = 2 // coverage spot-check; the full run exercises 5 realizations
+	}
 	var zs []float64
-	for rep := 0; rep < 5; rep++ {
+	for rep := 0; rep < reps; rep++ {
 		pb, init := makeScene(t, 500+uint64(rep), truth, 2)
 		res := Fit(pb, init, Options{})
 		c := res.Params.Constrained()
