@@ -21,6 +21,7 @@ package celeste
 import (
 	"celeste/internal/cluster"
 	"celeste/internal/core"
+	"celeste/internal/dtree"
 	"celeste/internal/elbo"
 	"celeste/internal/geom"
 	"celeste/internal/model"
@@ -62,7 +63,20 @@ type (
 	Workload = cluster.Workload
 	// SimResult is one simulated cluster run.
 	SimResult = cluster.Result
+	// Checkpoint is a resumable cut of a distributed run, captured at a task
+	// boundary; resuming it yields a catalog byte-identical to the
+	// uninterrupted run.
+	Checkpoint = core.Checkpoint
+	// FaultPlan schedules rank kills and stalls for fault-injected runs,
+	// honored identically by the in-process runtime and the cluster
+	// simulator.
+	FaultPlan = dtree.FaultPlan
+	// Fault is one scheduled rank failure or slowdown.
+	Fault = dtree.Fault
 )
+
+// ErrRunAborted wraps the error returned when a checkpoint hook stops a run.
+var ErrRunAborted = core.ErrAborted
 
 // DefaultSurveyConfig returns a small but fully featured survey
 // configuration (multi-epoch coverage plus a deep Stripe 82-like strip).
@@ -109,6 +123,24 @@ type InferResult struct {
 	Fits, NewtonIters, Visits int64
 	// TasksProcessed counts scheduled task executions.
 	TasksProcessed int
+	// FailedRanks and RequeuedTasks record injected-fault recovery.
+	FailedRanks, RequeuedTasks int
+}
+
+// InferOptions controls fault tolerance for InferWithOptions.
+type InferOptions struct {
+	// CheckpointEvery fires OnCheckpoint after every that-many completed
+	// tasks (0 disables checkpointing).
+	CheckpointEvery int
+	// OnCheckpoint receives each captured checkpoint (typically to persist
+	// with imageio.SaveCheckpoint). A non-nil error aborts the run;
+	// InferWithOptions then returns an error wrapping ErrRunAborted.
+	OnCheckpoint func(*Checkpoint) error
+	// Resume restores a prior run's checkpoint; the run's inputs must hash
+	// identically, but Threads and Processes may differ.
+	Resume *Checkpoint
+	// Faults injects rank kills and stalls into the run.
+	Faults *FaultPlan
 }
 
 // Infer runs the full pipeline on a survey: two-stage sky partition from the
@@ -116,6 +148,22 @@ type InferResult struct {
 // processes, Cyclades-parallel joint optimization within each region, PGAS
 // parameter state, and a final catalog with posterior uncertainties.
 func Infer(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig) *InferResult {
+	res, err := InferWithOptions(sv, initCatalog, cfg, InferOptions{})
+	if err != nil {
+		// Impossible without checkpoint hooks, faults, or a resume state.
+		panic(err)
+	}
+	return res
+}
+
+// InferWithOptions is the resumable entry point: Infer plus periodic
+// checkpoint capture, resumption from a checkpoint, and fault injection.
+// The task partition is regenerated deterministically from the inputs, so a
+// resumed run only needs the survey, the same initialization catalog, and
+// the checkpoint.
+func InferWithOptions(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig,
+	opts InferOptions) (*InferResult, error) {
+
 	tw := cfg.TargetWork
 	if tw == 0 {
 		tw = 2e6
@@ -123,13 +171,21 @@ func Infer(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig) *InferResult
 	tasks := partition.GenerateTwoStage(initCatalog, sv.Config.Region, partition.Options{
 		TargetWork: tw,
 	})
-	run := core.Run(sv, initCatalog, tasks, core.Config{
+	run, err := core.RunWithOptions(sv, initCatalog, tasks, core.Config{
 		Threads:   cfg.Threads,
 		Rounds:    cfg.Rounds,
 		Processes: cfg.Processes,
 		Seed:      cfg.Seed,
 		Fit:       vi.Options{MaxIter: cfg.MaxIter},
+	}, core.RunOptions{
+		CheckpointEvery: opts.CheckpointEvery,
+		OnCheckpoint:    opts.OnCheckpoint,
+		Resume:          opts.Resume,
+		Faults:          opts.Faults,
 	})
+	if run == nil {
+		return nil, err
+	}
 	return &InferResult{
 		Catalog:        run.Catalog,
 		Tasks:          tasks,
@@ -137,7 +193,9 @@ func Infer(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig) *InferResult
 		NewtonIters:    run.Stats.NewtonIters,
 		Visits:         run.Stats.Visits,
 		TasksProcessed: run.TasksProcessed,
-	}
+		FailedRanks:    run.FailedRanks,
+		RequeuedTasks:  run.RequeuedTasks,
+	}, err
 }
 
 // FitSource fits a single light source against a set of images, returning

@@ -6,6 +6,13 @@
 //
 // If the directory contains truth.jsonl, accuracy against ground truth is
 // reported.
+//
+// Long runs are killable and resumable: -checkpoint persists the run state
+// to a file at task-boundary intervals, and -resume restarts from it,
+// producing a catalog byte-identical to an uninterrupted run:
+//
+//	celeste -sky ./sky -checkpoint run.celk            # killed partway
+//	celeste -sky ./sky -checkpoint run.celk -resume    # finishes the run
 package main
 
 import (
@@ -13,6 +20,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -32,6 +40,9 @@ func main() {
 	rounds := flag.Int("rounds", 2, "block coordinate ascent rounds per task")
 	maxIter := flag.Int("maxiter", 40, "Newton iterations per source fit")
 	seed := flag.Uint64("seed", 1, "random seed")
+	ckPath := flag.String("checkpoint", "", "checkpoint file to write at task boundaries (empty: no checkpointing)")
+	ckEvery := flag.Int("checkpoint-every", 1, "tasks between checkpoints")
+	resume := flag.Bool("resume", false, "resume from -checkpoint if the file exists")
 	flag.Parse()
 
 	images, truth, err := imageio.ReadSurveyDir(*sky)
@@ -47,11 +58,37 @@ func main() {
 	sv := reassemble(images, truth)
 	fmt.Printf("loaded %d frames, %d catalog entries\n", len(images), len(init))
 
+	var opts celeste.InferOptions
+	if *resume && *ckPath == "" {
+		log.Fatal("-resume requires -checkpoint to name the checkpoint file")
+	}
+	if *ckPath != "" {
+		opts.CheckpointEvery = *ckEvery
+		opts.OnCheckpoint = func(ck *celeste.Checkpoint) error {
+			return imageio.SaveCheckpoint(*ckPath, ck)
+		}
+		if *resume {
+			ck, err := imageio.LoadCheckpoint(*ckPath)
+			switch {
+			case err == nil:
+				opts.Resume = ck
+				fmt.Printf("resuming from %s (%d tasks done)\n", *ckPath, countDone(ck.Done))
+			case os.IsNotExist(err):
+				fmt.Printf("no checkpoint at %s; starting fresh\n", *ckPath)
+			default:
+				log.Fatalf("loading checkpoint: %v", err)
+			}
+		}
+	}
+
 	start := time.Now()
-	res := celeste.Infer(sv, init, celeste.InferConfig{
+	res, err := celeste.InferWithOptions(sv, init, celeste.InferConfig{
 		Threads: *threads, Processes: *procs, Rounds: *rounds,
 		MaxIter: *maxIter, Seed: *seed,
-	})
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 	elapsed := time.Since(start)
 
 	if err := imageio.WriteCatalog(*out, res.Catalog); err != nil {
@@ -82,6 +119,17 @@ func main() {
 		fmt.Printf("vs truth: mean position error %.3f px, mean |Δmag| %.3f\n",
 			pos/n, mag/n)
 	}
+}
+
+// countDone tallies set bits of a completion bitmap.
+func countDone(done []bool) int {
+	n := 0
+	for _, d := range done {
+		if d {
+			n++
+		}
+	}
+	return n
 }
 
 // reassemble rebuilds a Survey value around frames loaded from disk,

@@ -137,6 +137,13 @@ type Result struct {
 	PeakPFLOPs     float64
 
 	Processes int
+
+	// Fault-recovery accounting (zero for fault-free runs): processes that
+	// died, tasks the scheduler requeued from dead processes, and compute
+	// seconds lost to partially-executed tasks that had to restart.
+	FailedProcs   int
+	RequeuedTasks int
+	LostSeconds   float64
 }
 
 // ThreadEfficiency models intra-task thread scaling: Cyclades keeps threads
@@ -230,6 +237,18 @@ func (h *procHeap) Pop() interface{} {
 // synchronizedStart replicates the Section VII-D performance-run setup:
 // processes block after loading images and start computing together.
 func Simulate(m Machine, w Workload, synchronizedStart bool) *Result {
+	return SimulateWithFaults(m, w, synchronizedStart, nil)
+}
+
+// SimulateWithFaults is Simulate with a fault plan injected: killed
+// processes die halfway through the task that follows their trigger count —
+// the partial work is lost, the in-flight task and the process's
+// undistributed pool are requeued through Dtree onto the survivors — and
+// delayed processes stall before each subsequent task. Recovery cost lands
+// where the paper's Section VII accounting would see it: re-executed work in
+// TaskProcessing on the inheriting processes, the dead process's silence in
+// LoadImbalance, and the wasted partial execution plus stalls in Other.
+func SimulateWithFaults(m Machine, w Workload, synchronizedStart bool, fp *dtree.FaultPlan) *Result {
 	nProcs := m.Nodes * m.ProcsPerNode
 	visits := GenerateVisits(w)
 	sched := dtree.New(dtree.Config{}, nProcs, w.Tasks)
@@ -258,29 +277,73 @@ func Simulate(m Machine, w Workload, synchronizedStart bool) *Result {
 	type interval struct{ start, end, flopRate float64 }
 	var busyIntervals []interval
 
+	var failedProcs int
+	var lostSeconds float64
+	tasksDone := 0
+	doneAtReseed := -1
+	dead := make([]bool, nProcs)
+
+	// A drained process may still be needed: a later failure can requeue
+	// tasks into a pool only that process's subtree reaches. When the heap
+	// empties with tasks outstanding, re-admit every surviving process at
+	// its finish time (no-op if all are dead or no progress was made since
+	// the last re-seed — then the remaining tasks are genuinely stranded).
+	reseedIfStalled := func() {
+		if h.Len() > 0 || tasksDone >= w.Tasks || tasksDone == doneAtReseed {
+			return
+		}
+		doneAtReseed = tasksDone
+		for r := 0; r < nProcs; r++ {
+			if !dead[r] {
+				heap.Push(&h, procState{free: procs[r].finish, rank: r})
+			}
+		}
+	}
+
 	for h.Len() > 0 {
 		ps := heap.Pop(&h).(procState)
+		p := &procs[ps.rank]
 		task, ok := sched.Next(ps.rank)
 		if !ok {
-			procs[ps.rank].finish = ps.free
+			p.finish = ps.free
+			reseedIfStalled()
 			continue
 		}
 		dur := TaskSeconds(m, visits[task])
+		start := ps.free
+		if synchronizedStart && p.tasks == 0 {
+			start = loadSec // all processes released together
+		}
+		if killAfter, kills := fp.KillAfter(ps.rank); kills && p.tasks >= killAfter {
+			// The process dies halfway through this task: the partial
+			// execution is wasted and the task returns to the pool for a
+			// surviving process.
+			const deadFrac = 0.5
+			failedProcs++
+			dead[ps.rank] = true
+			lostSeconds += deadFrac * dur
+			p.other += deadFrac * dur
+			p.finish = start + deadFrac*dur
+			sched.Fail(ps.rank)
+			reseedIfStalled()
+			continue
+		}
 		over := depth * m.NetLatency * 1000 // request round trip + bookkeeping
 		over += 0.05                        // result write-back
-		p := &procs[ps.rank]
+		if d := fp.DelayFor(ps.rank, p.tasks); d > 0 {
+			start += d // straggler stall before the task
+			p.other += d
+		}
 		p.busy += dur
 		p.other += over
 		p.tasks++
 		totalVisits += visits[task]
-		start := ps.free
-		if synchronizedStart && p.tasks == 1 {
-			start = loadSec // all processes released together
-		}
 		busyIntervals = append(busyIntervals, interval{
 			start: start, end: start + dur,
 			flopRate: flops.Total(int64(visits[task])) / dur,
 		})
+		sched.Done(ps.rank, task)
+		tasksDone++
 		heap.Push(&h, procState{free: start + dur + over, rank: ps.rank})
 	}
 
@@ -291,7 +354,8 @@ func Simulate(m Machine, w Workload, synchronizedStart bool) *Result {
 		}
 	}
 
-	res := &Result{Makespan: makespan, Visits: int64(totalVisits), Processes: nProcs}
+	res := &Result{Makespan: makespan, Visits: int64(totalVisits), Processes: nProcs,
+		FailedProcs: failedProcs, RequeuedTasks: int(sched.Requeued()), LostSeconds: lostSeconds}
 	var sumBusy, sumOther, sumImb float64
 	for i := range procs {
 		sumBusy += procs[i].busy

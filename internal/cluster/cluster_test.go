@@ -3,6 +3,8 @@ package cluster
 import (
 	"math"
 	"testing"
+
+	"celeste/internal/dtree"
 )
 
 func TestWeakScalingShape(t *testing.T) {
@@ -192,5 +194,104 @@ func BenchmarkSimulate8192Nodes(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Simulate(m, w, false)
+	}
+}
+
+func TestSimulateWithFaultsRecovers(t *testing.T) {
+	m := DefaultMachine(2) // 34 processes
+	w := DefaultWorkload(200)
+	base := Simulate(m, w, false)
+
+	fp := &dtree.FaultPlan{Faults: []dtree.Fault{
+		{Rank: 3, AfterTasks: 1, Kill: true},
+		{Rank: 17, AfterTasks: 0, Kill: true},
+		{Rank: 0, AfterTasks: 2, Kill: true}, // the Dtree root dies too
+	}}
+	res := SimulateWithFaults(m, w, false, fp)
+
+	if res.FailedProcs != 3 {
+		t.Fatalf("FailedProcs = %d, want 3", res.FailedProcs)
+	}
+	if res.RequeuedTasks < 3 {
+		t.Errorf("RequeuedTasks = %d, want at least the 3 in-flight kills", res.RequeuedTasks)
+	}
+	if res.LostSeconds <= 0 {
+		t.Error("no compute time recorded as lost")
+	}
+	// Every task still completes exactly once: total useful visits match the
+	// fault-free run (the workload draw is identical).
+	if res.Visits != base.Visits {
+		t.Errorf("faulty run completed %d visits, fault-free %d", res.Visits, base.Visits)
+	}
+	// Recovery is visible in the Section VII accounting: the dead processes'
+	// silence inflates load imbalance, and the run cannot be faster.
+	if res.Makespan < base.Makespan {
+		t.Errorf("makespan improved under faults: %.1f vs %.1f", res.Makespan, base.Makespan)
+	}
+	if res.Components.LoadImbalance <= base.Components.LoadImbalance {
+		t.Errorf("load imbalance did not grow: %.2f vs %.2f",
+			res.Components.LoadImbalance, base.Components.LoadImbalance)
+	}
+}
+
+func TestSimulateWithStragglerDelay(t *testing.T) {
+	m := DefaultMachine(1)
+	w := DefaultWorkload(60)
+	base := Simulate(m, w, false)
+	fp := &dtree.FaultPlan{Faults: []dtree.Fault{
+		{Rank: 5, AfterTasks: 0, DelaySeconds: 300},
+	}}
+	res := SimulateWithFaults(m, w, false, fp)
+	if res.Visits != base.Visits {
+		t.Errorf("straggler changed completed work: %d vs %d", res.Visits, base.Visits)
+	}
+	if res.FailedProcs != 0 || res.RequeuedTasks != 0 {
+		t.Errorf("pure delay recorded failures: %d procs, %d requeues",
+			res.FailedProcs, res.RequeuedTasks)
+	}
+	if res.Components.Other <= base.Components.Other {
+		t.Errorf("stall not accounted in Other: %.2f vs %.2f",
+			res.Components.Other, base.Components.Other)
+	}
+}
+
+func TestFaultFreeSimulationUnchanged(t *testing.T) {
+	// The fault plumbing must not perturb the calibrated fault-free model:
+	// nil-plan results are identical to Simulate's.
+	m := DefaultMachine(4)
+	w := DefaultWorkload(500)
+	a := Simulate(m, w, false)
+	b := SimulateWithFaults(m, w, false, nil)
+	if a.Makespan != b.Makespan || a.Visits != b.Visits || a.Components != b.Components {
+		t.Errorf("nil fault plan changed the simulation: %+v vs %+v", a.Components, b.Components)
+	}
+}
+
+func TestLateKillAfterSurvivorsDrainStillCompletes(t *testing.T) {
+	// Dtree refill only reaches a rank's ancestors, so the root cannot
+	// steal from a child's static pool. Stall the child (rank 1) with a
+	// huge delay: the root drains everything it can reach and leaves the
+	// event heap. Then the child dies sitting on its static allocation.
+	// The simulator must re-admit the drained root to execute the requeued
+	// tasks — otherwise they are silently stranded and Visits under-counts.
+	m := DefaultMachine(1)
+	m.ProcsPerNode = 2
+	w := DefaultWorkload(40) // static share int(0.4*40/2) = 8 tasks per rank
+	base := Simulate(m, w, false)
+
+	fp := &dtree.FaultPlan{Faults: []dtree.Fault{
+		{Rank: 1, AfterTasks: 0, DelaySeconds: 1e5},
+		{Rank: 1, AfterTasks: 2, Kill: true},
+	}}
+	res := SimulateWithFaults(m, w, false, fp)
+	if res.FailedProcs != 1 {
+		t.Fatalf("FailedProcs = %d, want the stalled child killed", res.FailedProcs)
+	}
+	if res.RequeuedTasks == 0 {
+		t.Fatal("child died without surrendering its pool")
+	}
+	if res.Visits != base.Visits {
+		t.Errorf("%d visits completed, fault-free %d — requeued tasks stranded",
+			res.Visits, base.Visits)
 	}
 }

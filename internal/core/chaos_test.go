@@ -1,0 +1,239 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"celeste/internal/dtree"
+	"celeste/internal/model"
+	"celeste/internal/partition"
+	"celeste/internal/survey"
+	"celeste/internal/vi"
+)
+
+// chaosSetup builds the small fixed survey and two-stage partition the
+// chaos tests share. TargetWork is set low so the partition yields several
+// tasks per stage — fault and checkpoint coverage needs task granularity.
+func chaosSetup(t *testing.T) (*survey.Survey, []model.CatalogEntry, []partition.Task) {
+	t.Helper()
+	sv := smallSurvey(13)
+	noisy := sv.NoisyCatalog(5)
+	if len(noisy) < 4 {
+		t.Skip("too few sources drawn for a multi-task partition")
+	}
+	tasks := partition.GenerateTwoStage(noisy, sv.Config.Region, partition.Options{
+		TargetWork: 1e5,
+	})
+	stage0 := 0
+	for _, tk := range tasks {
+		if tk.Stage == 0 {
+			stage0++
+		}
+	}
+	if stage0 < 3 {
+		t.Skipf("partition yielded only %d stage-0 tasks", stage0)
+	}
+	return sv, noisy, tasks
+}
+
+func chaosConfig(threads, procs int) Config {
+	return Config{Threads: threads, Processes: procs, Rounds: 1, Seed: 3,
+		Fit: vi.Options{MaxIter: 8, GradTol: 1e-3}}
+}
+
+func catalogsEqual(t *testing.T, want, got []model.CatalogEntry, label string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d entries vs %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: catalog entry %d differs:\n want %+v\n  got %+v", label, i, want[i], got[i])
+		}
+	}
+}
+
+// TestRunDeterministicAcrossProcsAndThreads is the foundation the
+// checkpoint/resume guarantee rests on: tasks read their inputs from the
+// frozen stage-start array, so the catalog is a pure function of the run
+// inputs — not of scheduling order, process count, or thread count.
+func TestRunDeterministicAcrossProcsAndThreads(t *testing.T) {
+	sv, noisy, tasks := chaosSetup(t)
+	base := Run(sv, noisy, tasks, chaosConfig(1, 1))
+	combos := [][2]int{{4, 2}, {2, 3}}
+	if testing.Short() {
+		combos = combos[:1]
+	}
+	for _, c := range combos {
+		res := Run(sv, noisy, tasks, chaosConfig(c[0], c[1]))
+		catalogsEqual(t, base.Catalog, res.Catalog, fmt.Sprintf("threads=%d procs=%d", c[0], c[1]))
+	}
+}
+
+// TestKilledRanksRecoverIdentically kills ranks mid-task and checks the
+// survivors re-execute the requeued work to the exact same catalog — the
+// paper's idempotent-task recovery story (Section IV-B), observed for real.
+func TestKilledRanksRecoverIdentically(t *testing.T) {
+	sv, noisy, tasks := chaosSetup(t)
+	cfg := chaosConfig(2, 3)
+	base := Run(sv, noisy, tasks, cfg)
+
+	plans := []dtree.FaultPlan{
+		{Faults: []dtree.Fault{{Rank: 1, AfterTasks: 0, Kill: true}}},
+		{Faults: []dtree.Fault{
+			{Rank: 0, AfterTasks: 1, Kill: true}, // the root dies too
+			{Rank: 2, AfterTasks: 0, Kill: true},
+		}},
+	}
+	if testing.Short() {
+		plans = plans[:1]
+	}
+	for pi, fp := range plans {
+		fp := fp
+		res, err := RunWithOptions(sv, noisy, tasks, cfg, RunOptions{Faults: &fp})
+		if err != nil {
+			t.Fatalf("plan %d: %v", pi, err)
+		}
+		if res.FailedRanks != len(fp.Faults) {
+			t.Errorf("plan %d: %d ranks failed, plan killed %d", pi, res.FailedRanks, len(fp.Faults))
+		}
+		if res.RequeuedTasks == 0 {
+			t.Errorf("plan %d: no tasks requeued despite mid-task kills", pi)
+		}
+		catalogsEqual(t, base.Catalog, res.Catalog, fmt.Sprintf("fault plan %d", pi))
+	}
+}
+
+// TestAllRanksDeadIsAnError: killing every rank strands work, and the run
+// must say so rather than return a silently incomplete catalog.
+func TestAllRanksDeadIsAnError(t *testing.T) {
+	sv, noisy, tasks := chaosSetup(t)
+	cfg := chaosConfig(1, 2)
+	fp := &dtree.FaultPlan{Faults: []dtree.Fault{
+		{Rank: 0, AfterTasks: 0, Kill: true},
+		{Rank: 1, AfterTasks: 0, Kill: true},
+	}}
+	_, err := RunWithOptions(sv, noisy, tasks, cfg, RunOptions{Faults: fp})
+	if err == nil {
+		t.Fatal("run with every rank killed reported success")
+	}
+}
+
+// TestDelayedRankStillCompletes: a straggler slows the run but must not
+// change the result.
+func TestDelayedRankStillCompletes(t *testing.T) {
+	sv, noisy, tasks := chaosSetup(t)
+	cfg := chaosConfig(2, 2)
+	base := Run(sv, noisy, tasks, cfg)
+	fp := &dtree.FaultPlan{Faults: []dtree.Fault{
+		{Rank: 1, AfterTasks: 0, DelaySeconds: 0.002},
+	}}
+	res, err := RunWithOptions(sv, noisy, tasks, cfg, RunOptions{Faults: fp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalogsEqual(t, base.Catalog, res.Catalog, "delayed rank")
+}
+
+// TestCheckpointAbortResumeEveryBoundary checkpoints and aborts at every
+// task boundary, resumes each checkpoint, and requires the final catalog to
+// be byte-identical to the uninterrupted run — including resumes at a
+// different {threads, procs} than the checkpoint was taken at.
+func TestCheckpointAbortResumeEveryBoundary(t *testing.T) {
+	sv, noisy, tasks := chaosSetup(t)
+	cfg := chaosConfig(2, 2)
+	base := Run(sv, noisy, tasks, cfg)
+	total := base.TasksProcessed
+
+	boundaries := make([]int, 0, total)
+	for k := 1; k < total; k++ {
+		boundaries = append(boundaries, k)
+	}
+	if testing.Short() && len(boundaries) > 3 {
+		// First, middle, and last boundary still cross both stages.
+		boundaries = []int{1, total / 2, total - 1}
+	}
+
+	for _, k := range boundaries {
+		var captured *Checkpoint
+		n := 0
+		partial, err := RunWithOptions(sv, noisy, tasks, cfg, RunOptions{
+			CheckpointEvery: 1,
+			OnCheckpoint: func(ck *Checkpoint) error {
+				n++
+				if n == k {
+					captured = ck
+					return errors.New("chaos: injected abort")
+				}
+				return nil
+			},
+		})
+		if !errors.Is(err, ErrAborted) {
+			t.Fatalf("boundary %d: abort returned %v, want ErrAborted", k, err)
+		}
+		if captured == nil {
+			t.Fatalf("boundary %d: no checkpoint captured", k)
+		}
+		// The partial result carries the committed work (ranks mid-commit
+		// when the abort landed may push it past k).
+		if partial.TasksProcessed < k {
+			t.Errorf("boundary %d: partial result reports %d tasks, want >= %d",
+				k, partial.TasksProcessed, k)
+		}
+		if got := countTrue(captured.Done); got != k {
+			t.Fatalf("boundary %d: checkpoint has %d tasks done", k, got)
+		}
+
+		// Resume at the same shape, and at a different one.
+		resumeCfgs := []Config{cfg, chaosConfig(1, 3)}
+		if testing.Short() {
+			resumeCfgs = resumeCfgs[:1]
+		}
+		for _, rc := range resumeCfgs {
+			res, err := RunWithOptions(sv, noisy, tasks, rc, RunOptions{Resume: captured})
+			if err != nil {
+				t.Fatalf("boundary %d resume: %v", k, err)
+			}
+			catalogsEqual(t, base.Catalog, res.Catalog,
+				fmt.Sprintf("resume from boundary %d at procs=%d", k, rc.Processes))
+			if res.TasksProcessed != total {
+				t.Errorf("boundary %d: resumed run reports %d tasks processed, want cumulative %d",
+					k, res.TasksProcessed, total)
+			}
+		}
+	}
+}
+
+// TestResumeRejectsForeignCheckpoint: a checkpoint from different run inputs
+// must be refused, not silently applied.
+func TestResumeRejectsForeignCheckpoint(t *testing.T) {
+	sv, noisy, tasks := chaosSetup(t)
+	cfg := chaosConfig(1, 2)
+	var captured *Checkpoint
+	_, err := RunWithOptions(sv, noisy, tasks, cfg, RunOptions{
+		CheckpointEvery: 1,
+		OnCheckpoint: func(ck *Checkpoint) error {
+			captured = ck
+			return errors.New("stop")
+		},
+	})
+	if !errors.Is(err, ErrAborted) || captured == nil {
+		t.Fatalf("no checkpoint captured: %v", err)
+	}
+	otherCfg := cfg
+	otherCfg.Seed = cfg.Seed + 1 // different run identity
+	if _, err := RunWithOptions(sv, noisy, tasks, otherCfg, RunOptions{Resume: captured}); err == nil {
+		t.Fatal("resume accepted a checkpoint from a different run configuration")
+	}
+}
+
+func countTrue(bs []bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}

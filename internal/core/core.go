@@ -11,10 +11,12 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"celeste/internal/cyclades"
 	"celeste/internal/dtree"
@@ -203,83 +205,416 @@ type RunResult struct {
 	PGASLocalOps   int64
 	PGASRemoteOps  int64
 
-	mu sync.Mutex
+	// Fault-recovery accounting.
+	FailedRanks   int
+	RequeuedTasks int
+}
+
+// RunOptions extends Run with checkpoint/resume and fault injection.
+type RunOptions struct {
+	// CheckpointEvery fires OnCheckpoint after every that-many task
+	// completions (0 disables checkpointing).
+	CheckpointEvery int
+
+	// OnCheckpoint receives each captured checkpoint. Returning a non-nil
+	// error aborts the run: RunWithOptions returns the partial result and an
+	// error wrapping ErrAborted.
+	//
+	// The hook runs under the run's commit lock: invocations are strictly
+	// serialized in commit order (a persisted checkpoint is never
+	// overwritten by an older one), at the cost of stalling other ranks'
+	// commits while it runs. Task granularity dwarfs checkpoint I/O in
+	// practice; raise CheckpointEvery if it does not.
+	OnCheckpoint func(*Checkpoint) error
+
+	// Resume restores a prior run's checkpoint. The checkpoint's RunHash
+	// must match this run's inputs; Threads and Processes may differ.
+	Resume *Checkpoint
+
+	// Faults injects rank kills and stalls into the goroutine runtime.
+	Faults *dtree.FaultPlan
+}
+
+// runState is the mutable shared state of one (possibly resumed) run. Task
+// commits — completion bit, work counters, checkpoint capture — happen under
+// one lock, so a checkpoint always sees a task either fully committed or not
+// at all. Parameter writes for uncommitted tasks may be mid-flight in cur
+// when a checkpoint snapshots it; that is harmless, because an uncommitted
+// task re-runs on resume and, reading its inputs from the frozen stage-start
+// array, rewrites exactly the same bytes.
+type runState struct {
+	mu             sync.Mutex
+	done           []bool
+	stats          Stats
+	tasksProcessed int
+	sinceCk        int
+	stage          int
+	hash           uint64
+
+	cur      *pgas.Array    // live parameters: completed tasks' outputs
+	prev     *pgas.Array    // frozen stage-input parameters (read side)
+	prevSnap *pgas.Snapshot // serialized form of prev, shared by checkpoints
+
+	// PGAS op counters carried from discarded arrays (earlier stages) and
+	// pre-resume incarnations.
+	carriedLocal, carriedRemote, carriedBytes int64
+
+	every int
+	hook  func(*Checkpoint) error
+
+	// Fault bookkeeping: a killed rank stays dead for the rest of the run
+	// (the node is gone), and kill/delay triggers count completed tasks
+	// across stages.
+	deadRank    []bool
+	completedBy []int
+
+	aborted  atomic.Bool
+	abortErr error
+}
+
+// foldArrayStats retires an Array's traffic counters into the carried sums.
+func (st *runState) foldArrayStats(a *pgas.Array) {
+	l, r, b := a.Stats()
+	st.carriedLocal += l
+	st.carriedRemote += r
+	st.carriedBytes += b
+}
+
+// captureLocked builds a checkpoint under st.mu.
+func (st *runState) captureLocked() *Checkpoint {
+	cl, cr, cb := st.carriedLocal, st.carriedRemote, st.carriedBytes
+	for _, a := range []*pgas.Array{st.cur, st.prev} {
+		l, r, b := a.Stats()
+		cl += l
+		cr += r
+		cb += b
+	}
+	return &Checkpoint{
+		Hash:           st.hash,
+		Stage:          st.stage,
+		Done:           append([]bool(nil), st.done...),
+		Cur:            st.cur.Snapshot(),
+		StageStart:     st.prevSnap,
+		Stats:          st.stats,
+		TasksProcessed: st.tasksProcessed,
+		PGASLocal:      cl,
+		PGASRemote:     cr,
+		PGASBytes:      cb,
+	}
+}
+
+// commit finalizes one task: completion bit, counters, and — every
+// CheckpointEvery commits — a checkpoint capture. The hook runs under the
+// commit lock: invocations are serialized in commit order, so a hook that
+// persists each checkpoint can never have an older state overwrite a newer
+// file.
+func (st *runState) commit(gi int, s Stats) {
+	st.mu.Lock()
+	st.done[gi] = true
+	st.stats.Fits += s.Fits
+	st.stats.NewtonIters += s.NewtonIters
+	st.stats.Visits += s.Visits
+	st.tasksProcessed++
+	var hookErr error
+	if st.every > 0 && st.hook != nil {
+		st.sinceCk++
+		if st.sinceCk >= st.every {
+			st.sinceCk = 0
+			if hookErr = st.hook(st.captureLocked()); hookErr != nil && st.abortErr == nil {
+				st.abortErr = fmt.Errorf("%w: %w", ErrAborted, hookErr)
+			}
+		}
+	}
+	st.mu.Unlock()
+	if hookErr != nil {
+		st.aborted.Store(true)
+	}
 }
 
 // Run executes the full three-level optimization over a survey: tasks from
 // the two-stage partition are scheduled with Dtree over simulated processes;
-// each task reads its sources' current parameters and the fixed neighbor
-// parameters from the PGAS array, jointly optimizes the region, and writes
-// the results back.
+// each task reads its sources' and fixed neighbors' parameters from the
+// frozen stage-input PGAS array, jointly optimizes the region, and writes
+// the results into the live array. The frozen read side makes every task a
+// pure function of the stage input — the property that makes tasks
+// idempotent (a rescheduled task recomputes identical bytes), the catalog
+// independent of thread and process counts, and checkpoints resumable to a
+// byte-identical result.
 func Run(sv *survey.Survey, catalog []model.CatalogEntry, tasks []partition.Task, cfg Config) *RunResult {
+	res, err := RunWithOptions(sv, catalog, tasks, cfg, RunOptions{})
+	if err != nil {
+		// Impossible without hooks, faults, or a resume checkpoint.
+		panic(err)
+	}
+	return res
+}
+
+// RunWithOptions is Run with checkpoint/resume and fault injection. On a
+// hook-requested abort it returns the partial result and an error wrapping
+// ErrAborted; on unrecoverable failure injection (every rank dead with tasks
+// outstanding) it returns an error describing the stranded work.
+func RunWithOptions(sv *survey.Survey, catalog []model.CatalogEntry, tasks []partition.Task,
+	cfg Config, opts RunOptions) (*RunResult, error) {
+
 	cfg.defaults()
 	priors := model.FitPriors(catalog)
-	pixScale := sv.Config.PixScale
 
-	// Global parameter state.
-	ga := pgas.New(len(catalog), model.ParamDim, cfg.Processes)
-	for i := range catalog {
-		p := model.InitialParams(&catalog[i])
-		ga.Put(0, i, p[:])
+	st := &runState{
+		done:        make([]bool, len(tasks)),
+		every:       opts.CheckpointEvery,
+		hook:        opts.OnCheckpoint,
+		deadRank:    make([]bool, cfg.Processes),
+		completedBy: make([]int, cfg.Processes),
+	}
+	// The run hash walks every survey pixel; only pay for it when a
+	// checkpoint could be written or consumed.
+	if opts.Resume != nil || (opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil) {
+		st.hash = RunHash(sv, catalog, tasks, cfg)
+	}
+
+	if ck := opts.Resume; ck != nil {
+		if err := st.restore(ck, len(catalog), cfg.Processes, len(tasks)); err != nil {
+			return nil, err
+		}
+	} else {
+		st.cur = pgas.New(len(catalog), model.ParamDim, cfg.Processes)
+		for i := range catalog {
+			p := model.InitialParams(&catalog[i])
+			st.cur.Put(0, i, p[:])
+		}
+		st.freezeStage(0)
+	}
+
+	var stage0, stage1 []int // global task indices per stage
+	for i, t := range tasks {
+		if t.Stage == 0 {
+			stage0 = append(stage0, i)
+		} else {
+			stage1 = append(stage1, i)
+		}
+	}
+	if st.stage == 1 {
+		for _, gi := range stage0 {
+			if !st.done[gi] {
+				return nil, fmt.Errorf("core: checkpoint claims stage 1 but stage-0 task %d is incomplete", gi)
+			}
+		}
 	}
 
 	res := &RunResult{}
-	var stage0, stage1 []partition.Task
-	for _, t := range tasks {
-		if t.Stage == 0 {
-			stage0 = append(stage0, t)
-		} else {
-			stage1 = append(stage1, t)
+	// Populate the work counters on every exit path — an aborted or
+	// stranded run's "partial result" contract includes them.
+	defer st.fillResult(res)
+	stages := [][]int{stage0, stage1}
+	for s := st.stage; s < len(stages); s++ {
+		if s != st.stage {
+			// Stage transition: the live array becomes the next stage's
+			// frozen input.
+			st.freezeStage(s)
+		}
+		if err := cfg.runStage(sv, catalog, &priors, tasks, stages[s], st, opts.Faults, res); err != nil {
+			return res, err
+		}
+		if st.aborted.Load() {
+			st.mu.Lock()
+			err := st.abortErr
+			st.mu.Unlock()
+			return res, err
 		}
 	}
-
-	runStage := func(stageTasks []partition.Task) {
-		if len(stageTasks) == 0 {
-			return
-		}
-		sched := dtree.New(dtree.Config{}, cfg.Processes, len(stageTasks))
-		var wg sync.WaitGroup
-		for rank := 0; rank < cfg.Processes; rank++ {
-			wg.Add(1)
-			go func(rank int) {
-				defer wg.Done()
-				for {
-					ti, ok := sched.Next(rank)
-					if !ok {
-						return
-					}
-					task := &stageTasks[ti]
-					cfg.processTask(sv, catalog, &priors, ga, rank, task, pixScale, res)
-				}
-			}(rank)
-		}
-		wg.Wait()
-	}
-	runStage(stage0)
-	runStage(stage1)
 
 	// Summarize the final parameters into the output catalog.
 	res.Catalog = make([]model.CatalogEntry, len(catalog))
 	buf := make([]float64, model.ParamDim)
 	for i := range catalog {
-		ga.Get(0, i, buf)
+		st.cur.Get(0, i, buf)
 		var p model.Params
 		copy(p[:], buf)
 		c := p.Constrained()
 		res.Catalog[i] = model.Summarize(catalog[i].ID, &c)
 	}
-	res.PGASLocalOps, res.PGASRemoteOps, _ = ga.Stats()
-	return res
+	return res, nil
 }
 
-// processTask pulls parameters, optimizes one region, and writes back.
+// fillResult copies the run's cumulative work counters into the result.
+func (st *runState) fillResult(res *RunResult) {
+	st.mu.Lock()
+	res.Stats = st.stats
+	res.TasksProcessed = st.tasksProcessed
+	cl, cr := st.carriedLocal, st.carriedRemote
+	st.mu.Unlock()
+	for _, a := range []*pgas.Array{st.cur, st.prev} {
+		if a != nil {
+			l, r, _ := a.Stats()
+			cl += l
+			cr += r
+		}
+	}
+	res.PGASLocalOps, res.PGASRemoteOps = cl, cr
+}
+
+// restore rebuilds the run state from a checkpoint, repartitioning the PGAS
+// snapshots if the process count changed.
+func (st *runState) restore(ck *Checkpoint, nSources, procs, nTasks int) error {
+	if err := ck.Validate(); err != nil {
+		return err
+	}
+	if ck.Hash != st.hash {
+		return fmt.Errorf("core: checkpoint hash %016x does not match run inputs %016x", ck.Hash, st.hash)
+	}
+	if ck.Cur.N != nSources || ck.Cur.Width != model.ParamDim {
+		return fmt.Errorf("core: checkpoint holds %dx%d parameters, run needs %dx%d",
+			ck.Cur.N, ck.Cur.Width, nSources, model.ParamDim)
+	}
+	if len(ck.Done) != nTasks {
+		return fmt.Errorf("core: checkpoint bitmap covers %d tasks, run has %d", len(ck.Done), nTasks)
+	}
+	curSnap, err := ck.Cur.Repartition(procs)
+	if err != nil {
+		return err
+	}
+	prevSnap, err := ck.StageStart.Repartition(procs)
+	if err != nil {
+		return err
+	}
+	if st.cur, err = pgas.FromSnapshot(curSnap); err != nil {
+		return err
+	}
+	if st.prev, err = pgas.FromSnapshot(prevSnap); err != nil {
+		return err
+	}
+	st.prevSnap = prevSnap
+	st.stage = ck.Stage
+	copy(st.done, ck.Done)
+	st.stats = ck.Stats
+	st.tasksProcessed = ck.TasksProcessed
+	st.carriedLocal = ck.PGASLocal
+	st.carriedRemote = ck.PGASRemote
+	st.carriedBytes = ck.PGASBytes
+	return nil
+}
+
+// freezeStage snapshots the live array as stage s's immutable input.
+func (st *runState) freezeStage(s int) {
+	if st.prev != nil {
+		st.foldArrayStats(st.prev)
+	}
+	st.stage = s
+	st.prevSnap = st.cur.Snapshot()
+	// Error impossible: the snapshot was just taken from a live array.
+	st.prev, _ = pgas.FromSnapshot(st.prevSnap)
+}
+
+// runStage schedules one stage's tasks over the simulated ranks, honoring
+// the fault plan. A rank that drains the pool but finds unfinished tasks
+// polls for requeued work (another rank may die and surrender its tasks)
+// until every task in the stage is confirmed done.
+func (cfg Config) runStage(sv *survey.Survey, catalog []model.CatalogEntry,
+	priors *model.Priors, tasks []partition.Task, idx []int, st *runState,
+	faults *dtree.FaultPlan, res *RunResult) error {
+
+	if len(idx) == 0 {
+		return nil
+	}
+	doneSub := make([]bool, len(idx))
+	remaining := 0
+	for j, gi := range idx {
+		doneSub[j] = st.done[gi]
+		if !doneSub[j] {
+			remaining++
+		}
+	}
+	if remaining == 0 {
+		return nil
+	}
+	sched := dtree.NewResumed(dtree.Config{}, cfg.Processes, len(idx), doneSub)
+	// Ranks killed in an earlier stage stay dead: surrender their static
+	// allocation before anyone pulls.
+	for rank, dead := range st.deadRank {
+		if dead {
+			sched.Fail(rank)
+		}
+	}
+
+	var stageDone atomic.Int64
+	stageDone.Store(int64(len(idx) - remaining))
+	finished := func() bool { return int(stageDone.Load()) == len(idx) }
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < cfg.Processes; rank++ {
+		if st.deadRank[rank] {
+			continue
+		}
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			killAfter, hasKill := faults.KillAfter(rank)
+			for {
+				if st.aborted.Load() {
+					return
+				}
+				j, ok := sched.Next(rank)
+				if !ok {
+					if finished() {
+						return
+					}
+					// The pool is dry but unfinished tasks are in flight on
+					// other ranks; poll for requeued work from failures. A
+					// rank with a pending kill waits here too — it dies with
+					// a task in hand, never quietly.
+					time.Sleep(200 * time.Microsecond)
+					continue
+				}
+				gi := idx[j]
+				if d := faults.DelayFor(rank, st.completedBy[rank]); d > 0 {
+					time.Sleep(time.Duration(d * float64(time.Second)))
+				}
+				dying := hasKill && st.completedBy[rank] >= killAfter
+				stats := cfg.processTask(sv, catalog, priors, st, rank, &tasks[gi])
+				if dying {
+					// The rank dies mid-task: its work is lost (never
+					// committed) and the scheduler requeues the in-flight
+					// task plus the rank's undistributed pool.
+					st.mu.Lock()
+					st.deadRank[rank] = true
+					st.mu.Unlock()
+					sched.Fail(rank)
+					return
+				}
+				st.commit(gi, stats)
+				stageDone.Add(1)
+				sched.Done(rank, j)
+				st.completedBy[rank]++
+			}
+		}(rank)
+	}
+	wg.Wait()
+	dead := 0
+	for _, d := range st.deadRank {
+		if d {
+			dead++
+		}
+	}
+	res.FailedRanks = dead
+	res.RequeuedTasks += int(sched.Requeued())
+	if !finished() && !st.aborted.Load() {
+		return fmt.Errorf("core: %d tasks stranded in stage %d: every surviving rank exhausted (faults killed %d of %d ranks)",
+			len(idx)-int(stageDone.Load()), st.stage, dead, cfg.Processes)
+	}
+	return nil
+}
+
+// processTask reads the task's inputs from the frozen stage-input array,
+// optimizes the region, and writes the results into the live array. It is a
+// pure function of the stage input, so re-executing it (after a rank
+// failure, or on resume) rewrites identical bytes.
 func (cfg Config) processTask(sv *survey.Survey, catalog []model.CatalogEntry,
-	priors *model.Priors, ga *pgas.Array, rank int, task *partition.Task,
-	pixScale float64, res *RunResult) {
+	priors *model.Priors, st *runState, rank int, task *partition.Task) Stats {
 
 	if len(task.Sources) == 0 {
-		return
+		return Stats{}
 	}
+	pixScale := sv.Config.PixScale
 	// Determine the images and the fixed neighbors: sources outside the
 	// region whose influence reaches inside.
 	margin := 35 * pixScale
@@ -298,7 +633,7 @@ func (cfg Config) processTask(sv *survey.Survey, catalog []model.CatalogEntry,
 	}
 	buf := make([]float64, model.ParamDim)
 	for _, s := range task.Sources {
-		ga.Get(rank, s, buf)
+		st.prev.Get(rank, s, buf)
 		var p model.Params
 		copy(p[:], buf)
 		rg.Sources = append(rg.Sources, s)
@@ -314,7 +649,7 @@ func (cfg Config) processTask(sv *survey.Survey, catalog []model.CatalogEntry,
 		if !task.Box.Expand(reach).Contains(e.Pos) {
 			continue
 		}
-		ga.Get(rank, i, buf)
+		st.prev.Get(rank, i, buf)
 		var p model.Params
 		copy(p[:], buf)
 		rg.Neighbors = append(rg.Neighbors, p.Constrained())
@@ -322,19 +657,10 @@ func (cfg Config) processTask(sv *survey.Survey, catalog []model.CatalogEntry,
 
 	s := cfg
 	s.Seed = cfg.Seed + uint64(task.ID)*0x9e3779b9
-	st := s.Process(rg)
+	stats := s.Process(rg)
 
 	for li, gi := range rg.Sources {
-		ga.Put(rank, gi, rg.Params[li][:])
+		st.cur.Put(rank, gi, rg.Params[li][:])
 	}
-	atomic.AddInt64(&res.Stats.Fits, st.Fits)
-	atomic.AddInt64(&res.Stats.NewtonIters, st.NewtonIters)
-	atomic.AddInt64(&res.Stats.Visits, st.Visits)
-	res.addTask()
-}
-
-func (r *RunResult) addTask() {
-	r.mu.Lock()
-	r.TasksProcessed++
-	r.mu.Unlock()
+	return stats
 }

@@ -124,6 +124,13 @@ func ChunkSize(cfg Config, remaining, subRequester, subHolder int) int {
 // Scheduler runs the Dtree policy over in-process ranks. The root holds the
 // dynamic pool; every rank holds a local pool refilled through its parent
 // chain. It is safe for concurrent use by one goroutine per rank.
+//
+// For fault tolerance the scheduler tracks which tasks each rank currently
+// holds in flight (handed out by Next, not yet confirmed by Done). Fail
+// requeues a dead rank's in-flight tasks and undistributed local pool into a
+// surviving ancestor's pool, the mechanism the paper relies on when a Cori
+// node drops out mid-run (Section IV-B: tasks are idempotent, so central
+// rescheduling is the whole recovery story).
 type Scheduler struct {
 	cfg   Config
 	n     int
@@ -134,9 +141,14 @@ type Scheduler struct {
 
 	subSize []int // cached SubtreeSize per rank (petascale rank counts)
 
+	inflight []map[int]bool // per-rank tasks handed out but not Done
+	dead     []bool         // ranks removed by Fail
+	rootHeir int            // rank holding the dynamic pool (0 until the root dies)
+
 	// Stats.
 	requests  []int64 // per-rank requests sent up the chain
 	delivered []int64 // per-rank tasks processed
+	requeued  int64   // tasks returned to the pool by Fail
 }
 
 type taskRange struct{ lo, hi int }
@@ -189,22 +201,34 @@ func (p *pool) add(q pool) { p.ranges = append(p.ranges, q.ranges...) }
 // New creates a scheduler for totalTasks over n ranks: static first
 // allocations per rank, with the dynamic remainder pooled at the root rank.
 func New(cfg Config, n, totalTasks int) *Scheduler {
+	return NewResumed(cfg, n, totalTasks, nil)
+}
+
+// NewResumed creates a scheduler whose pools exclude the tasks already
+// marked true in done (len(done) == totalTasks, or nil for a fresh run).
+// A resumed run distributes only the surviving work, through the same
+// first-allocation/dynamic-pool policy applied to the filtered ranges.
+func NewResumed(cfg Config, n, totalTasks int, done []bool) *Scheduler {
 	cfg.defaults()
 	s := &Scheduler{
 		cfg: cfg, n: n, total: totalTasks,
 		pools:     make([]pool, n),
+		inflight:  make([]map[int]bool, n),
+		dead:      make([]bool, n),
 		requests:  make([]int64, n),
 		delivered: make([]int64, n),
 	}
 	for r := 0; r < n; r++ {
+		s.inflight[r] = make(map[int]bool)
 		start, count := FirstAllocation(cfg, totalTasks, n, r)
 		if count > 0 {
-			s.pools[r].ranges = []taskRange{{start, start + count}}
+			s.pools[r].ranges = subtractDone([]taskRange{{start, start + count}}, done)
 		}
 	}
 	ds := DynamicStart(cfg, totalTasks, n)
 	if ds < totalTasks {
-		s.pools[0].ranges = append(s.pools[0].ranges, taskRange{ds, totalTasks})
+		s.pools[0].ranges = append(s.pools[0].ranges,
+			subtractDone([]taskRange{{ds, totalTasks}}, done)...)
 	}
 	// Subtree sizes bottom-up (avoids O(n) recursion per refill).
 	s.subSize = make([]int, n)
@@ -217,12 +241,39 @@ func New(cfg Config, n, totalTasks int) *Scheduler {
 	return s
 }
 
+// subtractDone splits ranges around already-completed task indices.
+func subtractDone(ranges []taskRange, done []bool) []taskRange {
+	if done == nil {
+		return ranges
+	}
+	var out []taskRange
+	for _, r := range ranges {
+		lo := r.lo
+		for t := r.lo; t < r.hi; t++ {
+			if t < len(done) && done[t] {
+				if t > lo {
+					out = append(out, taskRange{lo, t})
+				}
+				lo = t + 1
+			}
+		}
+		if r.hi > lo {
+			out = append(out, taskRange{lo, r.hi})
+		}
+	}
+	return out
+}
+
 // Next returns the next task index for rank, or ok=false when the global
-// supply is exhausted. Draining ranks pull chunks through their ancestor
-// chain, mirroring request propagation toward the root.
+// supply is exhausted (or the rank has been failed). Draining ranks pull
+// chunks through their ancestor chain, mirroring request propagation toward
+// the root. The task stays attributed to the rank until Done or Fail.
 func (s *Scheduler) Next(rank int) (task int, ok bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.dead[rank] {
+		return 0, false
+	}
 	if s.pools[rank].size() == 0 {
 		s.refillLocked(rank)
 	}
@@ -230,15 +281,97 @@ func (s *Scheduler) Next(rank int) (task int, ok bool) {
 		return 0, false
 	}
 	s.delivered[rank]++
-	return s.pools[rank].takeOne(), true
+	t := s.pools[rank].takeOne()
+	s.inflight[rank][t] = true
+	return t, true
 }
 
-// refillLocked walks up the ancestor chain to the nearest pool with tasks
-// and cascades fair-share chunks back down to the requester.
+// Done confirms that rank finished the task Next handed it. Tasks never
+// confirmed are requeued if the rank fails.
+func (s *Scheduler) Done(rank, task int) {
+	s.mu.Lock()
+	delete(s.inflight[rank], task)
+	s.mu.Unlock()
+}
+
+// Fail removes rank from the schedule: its unconfirmed in-flight tasks and
+// undistributed local pool move to the nearest live ancestor (the root's
+// natural stand-in), and subsequent Next(rank) calls return false. Returns
+// how many tasks were requeued — in-flight plus pooled. Idempotent per rank.
+func (s *Scheduler) Fail(rank int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead[rank] {
+		return 0
+	}
+	s.dead[rank] = true
+	heir := -1
+	for p := Parent(rank, s.cfg.Fanout); p >= 0; p = Parent(p, s.cfg.Fanout) {
+		if !s.dead[p] {
+			heir = p
+			break
+		}
+	}
+	if heir == -1 { // no live ancestor: any surviving rank inherits
+		for r := 0; r < s.n; r++ {
+			if !s.dead[r] {
+				heir = r
+				break
+			}
+		}
+	}
+	if rank == s.rootHeir {
+		s.rootHeir = heir // may be -1 when every rank is dead
+	}
+	n := len(s.inflight[rank]) + s.pools[rank].size()
+	if heir < 0 {
+		// Every rank is dead: the tasks are dropped, not requeued — callers
+		// detect the stranding by the work never completing.
+		s.inflight[rank] = make(map[int]bool)
+		s.pools[rank] = pool{}
+		return 0
+	}
+	for t := range s.inflight[rank] {
+		s.pools[heir].ranges = append(s.pools[heir].ranges, taskRange{t, t + 1})
+	}
+	s.inflight[rank] = make(map[int]bool)
+	s.pools[heir].add(s.pools[rank])
+	s.pools[rank] = pool{}
+	s.requeued += int64(n)
+	return n
+}
+
+// Requeued reports how many tasks Fail has returned to the pool so far.
+func (s *Scheduler) Requeued() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requeued
+}
+
+// refillLocked walks up the chain of live ancestors to the nearest pool with
+// tasks and cascades fair-share chunks back down to the requester. Dead
+// ranks are skipped: their pools were drained into an ancestor by Fail, and
+// routing chunks through them would strand work.
 func (s *Scheduler) refillLocked(rank int) {
 	chain := []int{rank}
 	for p := Parent(rank, s.cfg.Fanout); p >= 0; p = Parent(p, s.cfg.Fanout) {
-		chain = append(chain, p)
+		if !s.dead[p] {
+			chain = append(chain, p)
+		}
+	}
+	// If the root died, the dynamic pool lives with its heir; make sure the
+	// chain can reach it.
+	if h := s.rootHeir; h >= 0 && h != rank && chain[len(chain)-1] != h {
+		inChain := false
+		for _, c := range chain {
+			if c == h {
+				inChain = true
+				break
+			}
+		}
+		if !inChain {
+			chain = append(chain, h)
+		}
 	}
 	s.requests[rank]++
 	level := -1
@@ -286,8 +419,64 @@ func (s *Scheduler) Run(process func(rank, task int)) {
 					return
 				}
 				process(rank, t)
+				s.Done(rank, t)
 			}
 		}(r)
 	}
 	wg.Wait()
+}
+
+// --- Fault injection ---
+
+// A Fault is one scheduled failure or slowdown of a rank, triggered by that
+// rank's progress: after it has completed AfterTasks tasks. Both the
+// in-process runtime (internal/core) and the cluster simulator
+// (internal/cluster) honor the same plan, so a recovery observed for real at
+// laptop scale can be priced at machine scale.
+type Fault struct {
+	Rank       int
+	AfterTasks int // trigger after the rank completes this many tasks
+
+	// Kill: the rank dies while processing its next task — the work is lost
+	// and the task (plus the rank's undistributed pool) is requeued.
+	Kill bool
+
+	// DelaySeconds: the rank stalls this long before each subsequent task (a
+	// straggler: thermal throttling, a sick burst-buffer stream, a noisy
+	// neighbor). Ignored when Kill is set.
+	DelaySeconds float64
+}
+
+// FaultPlan is a set of faults to inject into a run.
+type FaultPlan struct {
+	Faults []Fault
+}
+
+// KillAfter reports whether rank is scheduled to die, and after how many
+// completed tasks. The earliest kill wins when several target one rank.
+func (p *FaultPlan) KillAfter(rank int) (after int, ok bool) {
+	if p == nil {
+		return 0, false
+	}
+	for _, f := range p.Faults {
+		if f.Kill && f.Rank == rank && (!ok || f.AfterTasks < after) {
+			after, ok = f.AfterTasks, true
+		}
+	}
+	return after, ok
+}
+
+// DelayFor returns the stall to apply before the task following `completed`
+// completed tasks on rank (the sum of all triggered delay faults).
+func (p *FaultPlan) DelayFor(rank, completed int) float64 {
+	if p == nil {
+		return 0
+	}
+	var d float64
+	for _, f := range p.Faults {
+		if !f.Kill && f.Rank == rank && completed >= f.AfterTasks {
+			d += f.DelaySeconds
+		}
+	}
+	return d
 }

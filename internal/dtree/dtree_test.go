@@ -271,3 +271,161 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 		s.Run(func(rank, task int) {})
 	}
 }
+
+func TestFailRequeuesInflightAndPool(t *testing.T) {
+	s := New(Config{FirstFrac: 0.5}, 4, 100)
+	// Rank 3 takes a few tasks in flight, then dies without confirming.
+	var taken []int
+	for i := 0; i < 3; i++ {
+		task, ok := s.Next(3)
+		if !ok {
+			t.Fatal("rank 3 starved")
+		}
+		taken = append(taken, task)
+	}
+	// Rank 3's static first allocation is int(0.5*100/4) = 12 tasks; 3 are
+	// in flight, 9 still pooled — Fail reports both.
+	requeued := s.Fail(3)
+	if requeued != 12 {
+		t.Fatalf("Fail requeued %d tasks, want 3 in flight + 9 pooled", requeued)
+	}
+	if _, ok := s.Next(3); ok {
+		t.Fatal("dead rank was handed a task")
+	}
+	// Everything — including rank 3's in-flight tasks and its whole static
+	// allocation — must be executed exactly once by the survivors.
+	seen := make(map[int]int)
+	for _, task := range taken {
+		seen[task] = 0 // must reappear
+	}
+	for {
+		progressed := false
+		for r := 0; r < 3; r++ {
+			if task, ok := s.Next(r); ok {
+				seen[task]++
+				s.Done(r, task)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if len(seen) != 100 {
+		t.Fatalf("survivors executed %d distinct tasks, want all 100", len(seen))
+	}
+	for task, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d executed %d times after requeue", task, c)
+		}
+	}
+	if s.Requeued() != 12 {
+		t.Errorf("Requeued() = %d, want 12", s.Requeued())
+	}
+}
+
+func TestFailRootMovesDynamicPool(t *testing.T) {
+	// Kill the root: its dynamic pool must be inherited and remain reachable
+	// by every surviving rank, including ones whose only live ancestor was
+	// the root.
+	s := New(Config{Fanout: 2}, 7, 200)
+	task, ok := s.Next(0)
+	if !ok {
+		t.Fatal("root got no task")
+	}
+	_ = task
+	s.Fail(0)
+	seen := make(map[int]bool)
+	for {
+		progressed := false
+		for r := 1; r < 7; r++ {
+			if task, ok := s.Next(r); ok {
+				if seen[task] {
+					t.Fatalf("task %d scheduled twice", task)
+				}
+				seen[task] = true
+				s.Done(r, task)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if len(seen) != 200 {
+		t.Fatalf("survivors executed %d of 200 tasks after root death", len(seen))
+	}
+}
+
+func TestFailIsIdempotent(t *testing.T) {
+	s := New(Config{}, 4, 40)
+	s.Next(2)
+	// Static allocation int(0.4*40/4) = 4: one in flight, three pooled.
+	if n := s.Fail(2); n != 4 {
+		t.Fatalf("first Fail requeued %d, want 4", n)
+	}
+	if n := s.Fail(2); n != 0 {
+		t.Fatalf("second Fail requeued %d, want 0", n)
+	}
+}
+
+func TestNewResumedSkipsDoneTasks(t *testing.T) {
+	total := 60
+	done := make([]bool, total)
+	for i := 0; i < total; i += 2 {
+		done[i] = true // every even task already completed
+	}
+	seen := make(map[int]bool)
+	s2 := NewResumed(Config{}, 3, total, done)
+	for {
+		progressed := false
+		for r := 0; r < 3; r++ {
+			if task, ok := s2.Next(r); ok {
+				if done[task] {
+					t.Fatalf("completed task %d rescheduled", task)
+				}
+				if seen[task] {
+					t.Fatalf("task %d scheduled twice", task)
+				}
+				seen[task] = true
+				s2.Done(r, task)
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if len(seen) != total/2 {
+		t.Fatalf("scheduled %d tasks, want the %d unfinished ones", len(seen), total/2)
+	}
+}
+
+func TestFaultPlanQueries(t *testing.T) {
+	fp := &FaultPlan{Faults: []Fault{
+		{Rank: 2, AfterTasks: 5, Kill: true},
+		{Rank: 2, AfterTasks: 3, Kill: true}, // earliest kill wins
+		{Rank: 1, AfterTasks: 2, DelaySeconds: 0.5},
+		{Rank: 1, AfterTasks: 4, DelaySeconds: 0.25},
+	}}
+	if after, ok := fp.KillAfter(2); !ok || after != 3 {
+		t.Errorf("KillAfter(2) = %d, %v", after, ok)
+	}
+	if _, ok := fp.KillAfter(0); ok {
+		t.Error("KillAfter(0) found a kill")
+	}
+	if d := fp.DelayFor(1, 1); d != 0 {
+		t.Errorf("delay before trigger = %v", d)
+	}
+	if d := fp.DelayFor(1, 3); d != 0.5 {
+		t.Errorf("delay after first trigger = %v", d)
+	}
+	if d := fp.DelayFor(1, 4); d != 0.75 {
+		t.Errorf("stacked delay = %v", d)
+	}
+	// A nil plan is inert.
+	var nilPlan *FaultPlan
+	if _, ok := nilPlan.KillAfter(0); ok || nilPlan.DelayFor(0, 0) != 0 {
+		t.Error("nil plan not inert")
+	}
+}

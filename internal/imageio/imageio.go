@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 
@@ -91,8 +92,16 @@ func ReadFrame(r io.Reader) (*survey.Image, error) {
 	if nPSF < 0 || nPSF > 64 {
 		return nil, fmt.Errorf("imageio: implausible PSF component count %d", nPSF)
 	}
-	if w <= 0 || h <= 0 || w*h > 1<<28 {
+	if w <= 0 || h <= 0 || w > 1<<20 || h > 1<<20 || w*h > 1<<28 {
 		return nil, fmt.Errorf("imageio: implausible frame size %dx%d", w, h)
+	}
+	for _, v := range wcsVals {
+		if !isFinite(v) {
+			return nil, errors.New("imageio: non-finite WCS field")
+		}
+	}
+	if !isFinite(iota) || !isFinite(sky) {
+		return nil, errors.New("imageio: non-finite calibration field")
 	}
 	im := &survey.Image{
 		ID: int(id), Run: int(run), Field: int(field), Band: int(band),
@@ -102,22 +111,46 @@ func ReadFrame(r io.Reader) (*survey.Image, error) {
 			CD11: wcsVals[4], CD12: wcsVals[5], CD21: wcsVals[6], CD22: wcsVals[7],
 		},
 		Iota: iota, Sky: sky,
-		PSF:    make(mog.Mixture, nPSF),
-		Pixels: make([]float64, w*h),
+		PSF: make(mog.Mixture, nPSF),
 	}
 	for i := range im.PSF {
 		var c [6]float64
 		if err := binary.Read(br, binary.LittleEndian, &c); err != nil {
 			return nil, err
 		}
+		for _, v := range c {
+			if !isFinite(v) {
+				return nil, fmt.Errorf("imageio: non-finite PSF component %d", i)
+			}
+		}
 		im.PSF[i] = mog.Component{Weight: c[0], MuX: c[1], MuY: c[2],
 			Sxx: c[3], Sxy: c[4], Syy: c[5]}
 	}
-	if err := binary.Read(br, binary.LittleEndian, &im.Pixels); err != nil {
-		return nil, err
+	// Read pixels in bounded chunks: the allocation grows with data actually
+	// present, so a truncated body or a hostile header can never force a
+	// W*H-sized allocation the input doesn't back.
+	npix := int(w * h)
+	im.Pixels = make([]float64, 0, min(npix, 1<<16))
+	chunk := make([]float64, 1<<12)
+	for len(im.Pixels) < npix {
+		c := chunk
+		if rem := npix - len(im.Pixels); rem < len(c) {
+			c = c[:rem]
+		}
+		if err := binary.Read(br, binary.LittleEndian, &c); err != nil {
+			return nil, err
+		}
+		for _, v := range c {
+			if !isFinite(v) {
+				return nil, fmt.Errorf("imageio: non-finite pixel at %d", len(im.Pixels))
+			}
+		}
+		im.Pixels = append(im.Pixels, c...)
 	}
 	return im, nil
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // FrameFileName returns the canonical file name for an image, mirroring the
 // SDSS run-field-band naming convention.
@@ -194,15 +227,21 @@ func WriteCatalog(path string, entries []model.CatalogEntry) error {
 	return bw.Flush()
 }
 
-// ReadCatalog reads JSON-lines catalog entries.
+// ReadCatalog reads JSON-lines catalog entries from a file.
 func ReadCatalog(path string) ([]model.CatalogEntry, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	return DecodeCatalog(f)
+}
+
+// DecodeCatalog reads JSON-lines catalog entries from a stream, validating
+// every numeric field.
+func DecodeCatalog(r io.Reader) ([]model.CatalogEntry, error) {
 	var out []model.CatalogEntry
-	dec := json.NewDecoder(bufio.NewReader(f))
+	dec := json.NewDecoder(bufio.NewReader(r))
 	for {
 		var e model.CatalogEntry
 		if err := dec.Decode(&e); err == io.EOF {
@@ -210,7 +249,27 @@ func ReadCatalog(path string) ([]model.CatalogEntry, error) {
 		} else if err != nil {
 			return nil, err
 		}
+		if err := validateEntry(&e); err != nil {
+			return nil, fmt.Errorf("imageio: catalog entry %d: %w", len(out), err)
+		}
 		out = append(out, e)
 	}
 	return out, nil
+}
+
+// validateEntry rejects catalog entries with non-finite numeric fields.
+// Standard JSON cannot encode NaN or Inf, but a hand-edited or corrupted
+// catalog must fail loudly here rather than poison an inference run.
+func validateEntry(e *model.CatalogEntry) error {
+	fields := []float64{e.Pos.RA, e.Pos.Dec, e.ProbGal,
+		e.GalDevFrac, e.GalAxisRatio, e.GalAngle, e.GalScale, e.ProbGalSD}
+	fields = append(fields, e.Flux[:]...)
+	fields = append(fields, e.FluxSD[:]...)
+	fields = append(fields, e.ColorSD[:]...)
+	for _, v := range fields {
+		if !isFinite(v) {
+			return errors.New("non-finite field")
+		}
+	}
+	return nil
 }

@@ -34,9 +34,10 @@ type Array struct {
 }
 
 type shard struct {
-	mu   sync.RWMutex
-	data []float64 // elements owned by this rank, packed
-	lo   int       // first global element index owned
+	mu      sync.RWMutex
+	data    []float64 // elements owned by this rank, packed
+	lo      int       // first global element index owned
+	version uint64    // incremented on every Put/Accumulate to this shard
 }
 
 // New creates a global array of n elements of the given width over nRanks
@@ -121,6 +122,7 @@ func (a *Array) Put(caller, i int, val []float64) {
 	sh.mu.Lock()
 	off := (i - sh.lo) * a.width
 	copy(sh.data[off:off+a.width], val)
+	sh.version++
 	sh.mu.Unlock()
 	a.account(caller, owner)
 }
@@ -139,6 +141,7 @@ func (a *Array) Accumulate(caller, i int, val []float64) {
 	for k, v := range val {
 		dst[k] += v
 	}
+	sh.version++
 	sh.mu.Unlock()
 	a.account(caller, owner)
 }
@@ -158,4 +161,116 @@ func (a *Array) GetRange(caller, lo, hi int, out []float64) {
 // moved.
 func (a *Array) Stats() (local, remote, bytes int64) {
 	return a.localOps.Load(), a.remoteOps.Load(), a.bytes.Load()
+}
+
+// Snapshot is a point-in-time copy of an Array's contents, the unit the
+// checkpoint format serializes. Shards are captured under their locks, so
+// each shard is internally consistent; Versions records each shard's write
+// counter at capture time (a resumed run restores both, so a later Snapshot
+// of the restored array is distinguishable from the original's successors).
+type Snapshot struct {
+	N, Width, Ranks int
+	Shards          [][]float64 // per-rank packed element data
+	Versions        []uint64    // per-rank shard write counters
+}
+
+// Snapshot copies the array's current contents. Concurrent writers may land
+// between shard captures; callers that need a globally consistent cut must
+// quiesce writers (the core runtime snapshots under its commit lock).
+func (a *Array) Snapshot() *Snapshot {
+	s := &Snapshot{
+		N: a.n, Width: a.width, Ranks: a.nRanks,
+		Shards:   make([][]float64, a.nRanks),
+		Versions: make([]uint64, a.nRanks),
+	}
+	for r := range a.shards {
+		sh := &a.shards[r]
+		sh.mu.RLock()
+		s.Shards[r] = append([]float64(nil), sh.data...)
+		s.Versions[r] = sh.version
+		sh.mu.RUnlock()
+	}
+	return s
+}
+
+// Validate checks a snapshot's internal consistency (dimensions versus shard
+// lengths), e.g. after deserialization from an untrusted checkpoint file.
+func (s *Snapshot) Validate() error {
+	if s.N < 0 || s.Width <= 0 || s.Ranks <= 0 {
+		return fmt.Errorf("pgas: snapshot has invalid dimensions n=%d width=%d ranks=%d",
+			s.N, s.Width, s.Ranks)
+	}
+	if len(s.Shards) != s.Ranks || len(s.Versions) != s.Ranks {
+		return fmt.Errorf("pgas: snapshot has %d shards and %d versions for %d ranks",
+			len(s.Shards), len(s.Versions), s.Ranks)
+	}
+	probe := Array{n: s.N, nRanks: s.Ranks}
+	for r, data := range s.Shards {
+		lo, hi := probe.ownedRange(r)
+		if len(data) != (hi-lo)*s.Width {
+			return fmt.Errorf("pgas: snapshot shard %d has %d values, want %d",
+				r, len(data), (hi-lo)*s.Width)
+		}
+	}
+	return nil
+}
+
+// Restore overwrites the array's contents and shard versions from a
+// snapshot. The snapshot's dimensions must match the array's exactly.
+func (a *Array) Restore(s *Snapshot) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if s.N != a.n || s.Width != a.width || s.Ranks != a.nRanks {
+		return fmt.Errorf("pgas: snapshot %dx%d/%d does not match array %dx%d/%d",
+			s.N, s.Width, s.Ranks, a.n, a.width, a.nRanks)
+	}
+	for r := range a.shards {
+		sh := &a.shards[r]
+		sh.mu.Lock()
+		copy(sh.data, s.Shards[r])
+		sh.version = s.Versions[r]
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Repartition returns an equivalent snapshot of the same elements block-
+// partitioned over a different rank count. Shards are contiguous by global
+// index, so the element stream is invariant; only the cut points move. This
+// is what lets a checkpoint taken at one process count resume at another.
+func (s *Snapshot) Repartition(ranks int) (*Snapshot, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if ranks <= 0 {
+		return nil, fmt.Errorf("pgas: repartition over %d ranks", ranks)
+	}
+	flat := make([]float64, 0, s.N*s.Width)
+	for _, sh := range s.Shards {
+		flat = append(flat, sh...)
+	}
+	out := &Snapshot{
+		N: s.N, Width: s.Width, Ranks: ranks,
+		Shards:   make([][]float64, ranks),
+		Versions: make([]uint64, ranks),
+	}
+	probe := Array{n: s.N, nRanks: ranks}
+	for r := 0; r < ranks; r++ {
+		lo, hi := probe.ownedRange(r)
+		out.Shards[r] = append([]float64(nil), flat[lo*s.Width:hi*s.Width]...)
+	}
+	return out, nil
+}
+
+// FromSnapshot builds a new array holding the snapshot's contents.
+func FromSnapshot(s *Snapshot) (*Array, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	a := New(s.N, s.Width, s.Ranks)
+	if err := a.Restore(s); err != nil {
+		return nil, err
+	}
+	return a, nil
 }

@@ -158,3 +158,198 @@ func TestOutOfRangePanics(t *testing.T) {
 	}()
 	a.Get(0, 10, make([]float64, 1))
 }
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	a := New(13, 3, 4)
+	val := make([]float64, 3)
+	for i := 0; i < 13; i++ {
+		for k := range val {
+			val[k] = float64(i*3 + k)
+		}
+		a.Put(0, i, val)
+	}
+	snap := a.Snapshot()
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate, then restore, then verify the original contents came back.
+	a.Put(2, 5, []float64{-1, -2, -3})
+	a.Accumulate(1, 9, []float64{100, 100, 100})
+	if err := a.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 3)
+	for i := 0; i < 13; i++ {
+		a.Get(0, i, out)
+		for k := range out {
+			if out[k] != float64(i*3+k) {
+				t.Fatalf("element %d = %v after restore", i, out)
+			}
+		}
+	}
+
+	// A reconstructed array matches too.
+	b, err := FromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo := make([]float64, 3)
+	for i := 0; i < 13; i++ {
+		b.Get(0, i, bo)
+		a.Get(0, i, out)
+		for k := range out {
+			if bo[k] != out[k] {
+				t.Fatalf("FromSnapshot element %d differs", i)
+			}
+		}
+	}
+}
+
+func TestSnapshotVersionsAdvance(t *testing.T) {
+	a := New(8, 2, 2)
+	s0 := a.Snapshot()
+	a.Put(0, 0, []float64{1, 2})
+	a.Put(0, 7, []float64{3, 4}) // other shard
+	a.Accumulate(0, 0, []float64{1, 1})
+	s1 := a.Snapshot()
+	if s1.Versions[0] != s0.Versions[0]+2 {
+		t.Errorf("shard 0 version advanced by %d, want 2", s1.Versions[0]-s0.Versions[0])
+	}
+	if s1.Versions[1] != s0.Versions[1]+1 {
+		t.Errorf("shard 1 version advanced by %d, want 1", s1.Versions[1]-s0.Versions[1])
+	}
+	// Restore brings the version counter back as well.
+	if err := a.Restore(s0); err != nil {
+		t.Fatal(err)
+	}
+	s2 := a.Snapshot()
+	if s2.Versions[0] != s0.Versions[0] || s2.Versions[1] != s0.Versions[1] {
+		t.Error("restore did not reset shard versions")
+	}
+}
+
+func TestSnapshotRepartition(t *testing.T) {
+	for _, tc := range []struct{ n, from, to int }{
+		{20, 3, 5}, {20, 5, 3}, {7, 7, 1}, {7, 1, 7}, {1, 4, 4},
+	} {
+		a := New(tc.n, 2, tc.from)
+		for i := 0; i < tc.n; i++ {
+			a.Put(0, i, []float64{float64(i), float64(-i)})
+		}
+		rs, err := a.Snapshot().Repartition(tc.to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := FromSnapshot(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 2)
+		for i := 0; i < tc.n; i++ {
+			b.Get(0, i, out)
+			if out[0] != float64(i) || out[1] != float64(-i) {
+				t.Fatalf("n=%d %d->%d ranks: element %d = %v", tc.n, tc.from, tc.to, i, out)
+			}
+		}
+	}
+}
+
+func TestRestoreRejectsMismatch(t *testing.T) {
+	a := New(10, 2, 2)
+	s := a.Snapshot()
+	b := New(10, 3, 2)
+	if err := b.Restore(s); err == nil {
+		t.Error("restore accepted a width mismatch")
+	}
+	s.Shards[0] = s.Shards[0][:1]
+	if err := a.Restore(s); err == nil {
+		t.Error("restore accepted a corrupted shard length")
+	}
+}
+
+// TestStressConcurrentMixedOps hammers one array from many goroutine ranks
+// with interleaved Get/Put/Accumulate plus snapshots, then settles the
+// books: accumulate-only elements must hold exact totals, and the op and
+// byte counters must equal exactly what was issued. Run under -race in CI,
+// this doubles as the PGAS memory-safety gate.
+func TestStressConcurrentMixedOps(t *testing.T) {
+	const (
+		n       = 96
+		width   = 4
+		nRanks  = 8
+		perRank = 2000
+	)
+	a := New(n, width, nRanks)
+	// Elements [0, n/2) take Put/Get traffic; [n/2, n) are accumulate-only
+	// so their totals are exactly predictable despite interleaving.
+	var wg sync.WaitGroup
+	for rank := 0; rank < nRanks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			r := rng.New(uint64(rank) + 1)
+			val := make([]float64, width)
+			out := make([]float64, width)
+			for op := 0; op < perRank; op++ {
+				switch op % 3 {
+				case 0:
+					i := r.Intn(n / 2)
+					for k := range val {
+						val[k] = r.Normal()
+					}
+					a.Put(rank, i, val)
+				case 1:
+					i := r.Intn(n)
+					a.Get(rank, i, out)
+				case 2:
+					i := n/2 + r.Intn(n/2)
+					for k := range val {
+						val[k] = 1
+					}
+					a.Accumulate(rank, i, val)
+				}
+				if op%500 == 0 {
+					// Snapshots interleaved with writers must be internally
+					// consistent per shard (and race-free).
+					if err := a.Snapshot().Validate(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+
+	// Accumulate totals: each rank issued perRank/3 (rounded) accumulates of
+	// all-ones; the sum over the accumulate-only elements must match exactly
+	// (float64 sums of small integers are exact).
+	accPerRank := perRank / 3
+	out := make([]float64, width)
+	var total float64
+	for i := n / 2; i < n; i++ {
+		a.Get(0, i, out)
+		for _, v := range out {
+			total += v
+		}
+	}
+	want := float64(nRanks * accPerRank * width)
+	if total != want {
+		t.Errorf("accumulate total %v, want %v", total, want)
+	}
+
+	// Counter settlement: ops issued = perRank*nRanks + the final reads,
+	// bytes = 8*width per op.
+	local, remote, bytes := a.Stats()
+	wantOps := int64(nRanks*perRank + n/2)
+	if local+remote != wantOps {
+		t.Errorf("local+remote = %d, want %d", local+remote, wantOps)
+	}
+	if bytes != wantOps*8*width {
+		t.Errorf("bytes = %d, want %d", bytes, wantOps*8*width)
+	}
+	if remote == 0 {
+		t.Error("no remote traffic recorded despite cross-rank access")
+	}
+}
