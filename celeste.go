@@ -25,6 +25,7 @@ import (
 	"celeste/internal/elbo"
 	"celeste/internal/geom"
 	"celeste/internal/model"
+	cnet "celeste/internal/net"
 	"celeste/internal/partition"
 	"celeste/internal/photo"
 	"celeste/internal/survey"
@@ -73,6 +74,13 @@ type (
 	FaultPlan = dtree.FaultPlan
 	// Fault is one scheduled rank failure or slowdown.
 	Fault = dtree.Fault
+	// Transport selects the TCP runtime for InferWithOptions: real worker
+	// processes connect to its Listener, pull Dtree tasks, fetch frozen
+	// stage input, and write results over the length-prefixed wire protocol.
+	// The catalog is byte-identical to the in-process runtime's.
+	Transport = cnet.Transport
+	// WorkerOptions configures one TCP worker process (see RunWorker).
+	WorkerOptions = core.WorkerOptions
 )
 
 // ErrRunAborted wraps the error returned when a checkpoint hook stops a run.
@@ -141,6 +149,10 @@ type InferOptions struct {
 	Resume *Checkpoint
 	// Faults injects rank kills and stalls into the run.
 	Faults *FaultPlan
+	// Transport, when non-nil, runs the TCP coordinator runtime instead of
+	// the in-process goroutine ranks: cfg.Processes worker processes (each
+	// started with RunWorker or `celeste -worker`) serve the run's tasks.
+	Transport *Transport
 }
 
 // Infer runs the full pipeline on a survey: two-stage sky partition from the
@@ -171,6 +183,13 @@ func InferWithOptions(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig,
 	tasks := partition.GenerateTwoStage(initCatalog, sv.Config.Region, partition.Options{
 		TargetWork: tw,
 	})
+	if opts.Transport != nil && opts.Transport.TargetWork == 0 {
+		// Advertise the resolved partition knob so workers regenerate the
+		// identical task list. Copy first: the caller's struct is theirs.
+		t := *opts.Transport
+		t.TargetWork = tw
+		opts.Transport = &t
+	}
 	run, err := core.RunWithOptions(sv, initCatalog, tasks, core.Config{
 		Threads:   cfg.Threads,
 		Rounds:    cfg.Rounds,
@@ -182,6 +201,7 @@ func InferWithOptions(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig,
 		OnCheckpoint:    opts.OnCheckpoint,
 		Resume:          opts.Resume,
 		Faults:          opts.Faults,
+		Transport:       opts.Transport,
 	})
 	if run == nil {
 		return nil, err
@@ -196,6 +216,16 @@ func InferWithOptions(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig,
 		FailedRanks:    run.FailedRanks,
 		RequeuedTasks:  run.RequeuedTasks,
 	}, err
+}
+
+// RunWorker joins a TCP run as one worker process: it connects to the
+// coordinator at addr, reconstructs the run deterministically from the
+// shared inputs (the coordinator must be running InferWithOptions with a
+// Transport over the same survey and initialization catalog — the run-hash
+// handshake refuses anything else), and processes tasks until the run ends.
+// Worker-local knobs like Threads do not affect the catalog bytes.
+func RunWorker(addr string, sv *Survey, initCatalog []CatalogEntry, opts WorkerOptions) error {
+	return core.RunWorker(addr, sv, initCatalog, opts)
 }
 
 // FitSource fits a single light source against a set of images, returning

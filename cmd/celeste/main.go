@@ -13,15 +13,31 @@
 //
 //	celeste -sky ./sky -checkpoint run.celk            # killed partway
 //	celeste -sky ./sky -checkpoint run.celk -resume    # finishes the run
+//
+// The run can also be distributed over real worker processes speaking the
+// TCP wire protocol (internal/net), reproducing the in-process catalog
+// byte-for-byte. Either spawn local workers in one step:
+//
+//	celeste -sky ./sky -spawn 4
+//
+// or run the coordinator and workers by hand (possibly on other machines
+// sharing the survey directory):
+//
+//	celeste -sky ./sky -serve :7021
+//	celeste -sky ./sky -worker host:7021 &   # × N
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"celeste"
@@ -32,18 +48,73 @@ import (
 	"celeste/internal/survey"
 )
 
+// flagConfig is the subset of flags whose combinations need validating, in a
+// plain struct so the matrix is table-testable.
+type flagConfig struct {
+	Serve      string // -serve listen address
+	Worker     string // -worker coordinator address
+	Spawn      int    // -spawn local worker count
+	SpawnSet   bool   // -spawn appeared on the command line
+	Checkpoint string // -checkpoint path
+	Resume     bool   // -resume
+	Procs      int    // -procs
+	Threads    int    // -threads
+}
+
+// validateFlags rejects contradictory or silently misbehaving flag
+// combinations up front, with errors that say what to do instead.
+func validateFlags(fc flagConfig) error {
+	switch {
+	case fc.SpawnSet && fc.Spawn < 1:
+		return fmt.Errorf("-spawn %d: need at least one worker process", fc.Spawn)
+	case fc.Worker != "" && fc.Serve != "":
+		return errors.New("-worker and -serve are mutually exclusive: a process is either a worker or the coordinator")
+	case fc.Worker != "" && fc.SpawnSet:
+		return errors.New("-worker and -spawn are mutually exclusive: only the coordinator spawns workers")
+	case fc.Worker != "" && fc.Checkpoint != "":
+		return errors.New("-worker cannot take -checkpoint: the coordinator owns checkpointing (pass -checkpoint to the -serve/-spawn process)")
+	case fc.Worker != "" && fc.Resume:
+		return errors.New("-worker cannot take -resume: the coordinator owns checkpoint state (pass -resume to the -serve/-spawn process)")
+	case fc.Resume && fc.Checkpoint == "":
+		return errors.New("-resume requires -checkpoint to name the checkpoint file")
+	case fc.Serve != "" && fc.SpawnSet:
+		return errors.New("-serve and -spawn are mutually exclusive: -spawn listens on a loopback port it picks itself")
+	case fc.Procs < 1:
+		return fmt.Errorf("-procs %d: need at least one process", fc.Procs)
+	case fc.Threads < 1:
+		return fmt.Errorf("-threads %d: need at least one thread", fc.Threads)
+	}
+	return nil
+}
+
 func main() {
 	sky := flag.String("sky", "sky", "survey directory from skygen")
 	out := flag.String("out", "catalog.jsonl", "output catalog path")
 	threads := flag.Int("threads", 8, "Cyclades worker threads per process")
-	procs := flag.Int("procs", 4, "simulated Dtree/PGAS processes")
+	procs := flag.Int("procs", 4, "Dtree/PGAS processes (with -serve: expected worker connections)")
 	rounds := flag.Int("rounds", 2, "block coordinate ascent rounds per task")
 	maxIter := flag.Int("maxiter", 40, "Newton iterations per source fit")
 	seed := flag.Uint64("seed", 1, "random seed")
 	ckPath := flag.String("checkpoint", "", "checkpoint file to write at task boundaries (empty: no checkpointing)")
 	ckEvery := flag.Int("checkpoint-every", 1, "tasks between checkpoints")
 	resume := flag.Bool("resume", false, "resume from -checkpoint if the file exists")
+	serveAddr := flag.String("serve", "", "serve the run over TCP on this address; -procs worker processes must connect")
+	workerAddr := flag.String("worker", "", "join the run served by the coordinator at this address as one worker process")
+	spawn := flag.Int("spawn", 0, "serve on a loopback port and fork this many local worker processes")
 	flag.Parse()
+
+	fc := flagConfig{
+		Serve: *serveAddr, Worker: *workerAddr, Spawn: *spawn,
+		Checkpoint: *ckPath, Resume: *resume, Procs: *procs, Threads: *threads,
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "spawn" {
+			fc.SpawnSet = true
+		}
+	})
+	if err := validateFlags(fc); err != nil {
+		log.Fatal(err)
+	}
 
 	images, truth, err := imageio.ReadSurveyDir(*sky)
 	if err != nil {
@@ -58,10 +129,20 @@ func main() {
 	sv := reassemble(images, truth)
 	fmt.Printf("loaded %d frames, %d catalog entries\n", len(images), len(init))
 
-	var opts celeste.InferOptions
-	if *resume && *ckPath == "" {
-		log.Fatal("-resume requires -checkpoint to name the checkpoint file")
+	if *workerAddr != "" {
+		// Worker mode: pull tasks from the coordinator until the run ends.
+		// The run hash handshake proves this process reconstructed the same
+		// survey, catalog, and partition byte-for-byte.
+		if err := celeste.RunWorker(*workerAddr, sv, init, celeste.WorkerOptions{
+			Threads: *threads,
+		}); err != nil {
+			log.Fatalf("worker: %v", err)
+		}
+		fmt.Println("worker: run complete")
+		return
 	}
+
+	var opts celeste.InferOptions
 	if *ckPath != "" {
 		opts.CheckpointEvery = *ckEvery
 		opts.OnCheckpoint = func(ck *celeste.Checkpoint) error {
@@ -81,11 +162,38 @@ func main() {
 		}
 	}
 
+	var spawned []*exec.Cmd
+	if *serveAddr != "" || fc.SpawnSet {
+		listenAddr := *serveAddr
+		if fc.SpawnSet {
+			listenAddr = "127.0.0.1:0"
+			*procs = *spawn
+		}
+		l, err := net.Listen("tcp", listenAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Transport = &celeste.Transport{Listener: l}
+		fmt.Printf("serving on %s, expecting %d workers\n", l.Addr(), *procs)
+		if fc.SpawnSet {
+			spawned, err = spawnWorkers(l.Addr().String(), *spawn, *sky, *threads)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
 	start := time.Now()
 	res, err := celeste.InferWithOptions(sv, init, celeste.InferConfig{
 		Threads: *threads, Processes: *procs, Rounds: *rounds,
 		MaxIter: *maxIter, Seed: *seed,
 	}, opts)
+	for _, cmd := range spawned {
+		// Workers exit after the coordinator's shutdown message; reap them.
+		if werr := cmd.Wait(); werr != nil && err == nil {
+			fmt.Fprintf(os.Stderr, "worker %d: %v\n", cmd.Process.Pid, werr)
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,6 +206,10 @@ func main() {
 	fmt.Printf("%d tasks, %d fits, mean %.1f Newton iters/fit\n",
 		res.TasksProcessed, res.Fits,
 		float64(res.NewtonIters)/math.Max(float64(res.Fits), 1))
+	if res.FailedRanks > 0 {
+		fmt.Printf("recovered from %d dead workers (%d tasks requeued)\n",
+			res.FailedRanks, res.RequeuedTasks)
+	}
 	fmt.Printf("%.2e FLOPs (%.1fM active pixel visits) in %s => %.2f GFLOP/s\n",
 		flops.Total(res.Visits), float64(res.Visits)/1e6, elapsed.Round(time.Millisecond),
 		flops.Rate(res.Visits, elapsed.Seconds())/1e9)
@@ -119,6 +231,32 @@ func main() {
 		fmt.Printf("vs truth: mean position error %.3f px, mean |Δmag| %.3f\n",
 			pos/n, mag/n)
 	}
+}
+
+// spawnWorkers forks n copies of this binary in -worker mode against addr.
+func spawnWorkers(addr string, n int, sky string, threads int) ([]*exec.Cmd, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	cmds := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe,
+			"-worker", addr,
+			"-sky", sky,
+			"-threads", strconv.Itoa(threads))
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			for _, c := range cmds {
+				c.Process.Kill()
+				c.Wait()
+			}
+			return nil, fmt.Errorf("spawning worker %d: %w", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	return cmds, nil
 }
 
 // countDone tallies set bits of a completion bitmap.

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags walks the flag-combination matrix: every contradictory
+// combination is refused with an error naming the offending flags, and every
+// sensible combination passes.
+func TestValidateFlags(t *testing.T) {
+	ok := flagConfig{Procs: 4, Threads: 8}
+	cases := []struct {
+		name string
+		fc   flagConfig
+		want string // "" means valid
+	}{
+		{"default run", ok, ""},
+		{"plain serve", flagConfig{Serve: ":7021", Procs: 4, Threads: 8}, ""},
+		{"plain worker", flagConfig{Worker: "host:7021", Procs: 4, Threads: 8}, ""},
+		{"plain spawn", flagConfig{Spawn: 4, SpawnSet: true, Procs: 4, Threads: 8}, ""},
+		{"spawn with checkpoint", flagConfig{Spawn: 2, SpawnSet: true, Checkpoint: "run.celk", Procs: 4, Threads: 8}, ""},
+		{"serve with resume", flagConfig{Serve: ":7021", Checkpoint: "run.celk", Resume: true, Procs: 4, Threads: 8}, ""},
+
+		{"spawn zero", flagConfig{Spawn: 0, SpawnSet: true, Procs: 4, Threads: 8}, "-spawn"},
+		{"spawn negative", flagConfig{Spawn: -3, SpawnSet: true, Procs: 4, Threads: 8}, "-spawn"},
+		{"worker and serve", flagConfig{Worker: "a:1", Serve: ":2", Procs: 4, Threads: 8}, "mutually exclusive"},
+		{"worker and spawn", flagConfig{Worker: "a:1", Spawn: 2, SpawnSet: true, Procs: 4, Threads: 8}, "mutually exclusive"},
+		{"worker with checkpoint", flagConfig{Worker: "a:1", Checkpoint: "run.celk", Procs: 4, Threads: 8}, "coordinator owns checkpointing"},
+		{"worker with resume", flagConfig{Worker: "a:1", Resume: true, Procs: 4, Threads: 8}, "coordinator owns checkpoint state"},
+		{"resume without checkpoint", flagConfig{Resume: true, Procs: 4, Threads: 8}, "-resume requires -checkpoint"},
+		{"serve and spawn", flagConfig{Serve: ":2", Spawn: 2, SpawnSet: true, Procs: 4, Threads: 8}, "mutually exclusive"},
+		{"zero procs", flagConfig{Procs: 0, Threads: 8}, "-procs"},
+		{"zero threads", flagConfig{Procs: 4, Threads: 0}, "-threads"},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.fc)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpectedly refused: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted, want an error mentioning %q", tc.name, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}

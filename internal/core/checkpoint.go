@@ -156,4 +156,3 @@ func RunHash(sv *survey.Survey, catalog []model.CatalogEntry, tasks []partition.
 	wF64(cfg.Fit.GradTol)
 	return h.Sum64()
 }
-

@@ -11,6 +11,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -23,6 +24,7 @@ import (
 	"celeste/internal/elbo"
 	"celeste/internal/geom"
 	"celeste/internal/model"
+	cnet "celeste/internal/net"
 	"celeste/internal/partition"
 	"celeste/internal/pgas"
 	"celeste/internal/rng"
@@ -233,6 +235,14 @@ type RunOptions struct {
 
 	// Faults injects rank kills and stalls into the goroutine runtime.
 	Faults *dtree.FaultPlan
+
+	// Transport selects the runtime. Nil runs the in-process goroutine
+	// ranks (the reference implementation). Non-nil serves the run over TCP
+	// to cfg.Processes real worker processes, which pull tasks, fetch
+	// frozen stage input, and write results over the wire; the catalog is
+	// byte-identical to the in-process runtime's, including across worker
+	// kills and checkpoint resumes.
+	Transport *cnet.Transport
 }
 
 // runState is the mutable shared state of one (possibly resumed) run. Task
@@ -357,6 +367,9 @@ func RunWithOptions(sv *survey.Survey, catalog []model.CatalogEntry, tasks []par
 	cfg Config, opts RunOptions) (*RunResult, error) {
 
 	cfg.defaults()
+	if opts.Transport != nil && opts.Faults != nil {
+		return nil, errors.New("core: FaultPlan injects faults into the in-process runtime; fault the TCP runtime by killing real worker processes")
+	}
 	priors := model.FitPriors(catalog)
 
 	st := &runState{
@@ -367,8 +380,11 @@ func RunWithOptions(sv *survey.Survey, catalog []model.CatalogEntry, tasks []par
 		completedBy: make([]int, cfg.Processes),
 	}
 	// The run hash walks every survey pixel; only pay for it when a
-	// checkpoint could be written or consumed.
-	if opts.Resume != nil || (opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil) {
+	// checkpoint could be written or consumed, or when the TCP handshake
+	// needs it as the differential oracle against each worker's
+	// independently reconstructed run.
+	if opts.Resume != nil || opts.Transport != nil ||
+		(opts.CheckpointEvery > 0 && opts.OnCheckpoint != nil) {
 		st.hash = RunHash(sv, catalog, tasks, cfg)
 	}
 
@@ -406,20 +422,26 @@ func RunWithOptions(sv *survey.Survey, catalog []model.CatalogEntry, tasks []par
 	// stranded run's "partial result" contract includes them.
 	defer st.fillResult(res)
 	stages := [][]int{stage0, stage1}
-	for s := st.stage; s < len(stages); s++ {
-		if s != st.stage {
-			// Stage transition: the live array becomes the next stage's
-			// frozen input.
-			st.freezeStage(s)
-		}
-		if err := cfg.runStage(sv, catalog, &priors, tasks, stages[s], st, opts.Faults, res); err != nil {
+	if opts.Transport != nil {
+		if err := cfg.serveTCP(tasks, stages, st, opts.Transport, res); err != nil {
 			return res, err
 		}
-		if st.aborted.Load() {
-			st.mu.Lock()
-			err := st.abortErr
-			st.mu.Unlock()
-			return res, err
+	} else {
+		for s := st.stage; s < len(stages); s++ {
+			if s != st.stage {
+				// Stage transition: the live array becomes the next stage's
+				// frozen input.
+				st.freezeStage(s)
+			}
+			if err := cfg.runStage(sv, catalog, &priors, tasks, stages[s], st, opts.Faults, res); err != nil {
+				return res, err
+			}
+			if st.aborted.Load() {
+				st.mu.Lock()
+				err := st.abortErr
+				st.mu.Unlock()
+				return res, err
+			}
 		}
 	}
 
@@ -535,6 +557,9 @@ func (cfg Config) runStage(sv *survey.Survey, catalog []model.CatalogEntry,
 			sched.Fail(rank)
 		}
 	}
+	// The rank loops pull through the transport-agnostic Source interface —
+	// the same face internal/net's client presents to a remote worker.
+	var src dtree.Source = sched
 
 	var stageDone atomic.Int64
 	stageDone.Store(int64(len(idx) - remaining))
@@ -553,7 +578,7 @@ func (cfg Config) runStage(sv *survey.Survey, catalog []model.CatalogEntry,
 				if st.aborted.Load() {
 					return
 				}
-				j, ok := sched.Next(rank)
+				j, ok := src.Next(rank)
 				if !ok {
 					if finished() {
 						return
@@ -578,12 +603,12 @@ func (cfg Config) runStage(sv *survey.Survey, catalog []model.CatalogEntry,
 					st.mu.Lock()
 					st.deadRank[rank] = true
 					st.mu.Unlock()
-					sched.Fail(rank)
+					src.Fail(rank)
 					return
 				}
 				st.commit(gi, stats)
 				stageDone.Add(1)
-				sched.Done(rank, j)
+				src.Done(rank, j)
 				st.completedBy[rank]++
 			}
 		}(rank)
@@ -604,19 +629,40 @@ func (cfg Config) runStage(sv *survey.Survey, catalog []model.CatalogEntry,
 	return nil
 }
 
-// processTask reads the task's inputs from the frozen stage-input array,
-// optimizes the region, and writes the results into the live array. It is a
-// pure function of the stage input, so re-executing it (after a rank
-// failure, or on resume) rewrites identical bytes.
+// processTask runs one task against the run's local arrays through the
+// rank's shared-memory views. The TCP worker runtime runs the identical
+// ExecTask against wire-backed views; only the transport differs.
 func (cfg Config) processTask(sv *survey.Survey, catalog []model.CatalogEntry,
 	priors *model.Priors, st *runState, rank int, task *partition.Task) Stats {
 
+	stats, err := cfg.ExecTask(sv, catalog, priors, task, st.prev.View(rank), st.cur.View(rank))
+	if err != nil {
+		// Local views never fail; an error here is a programming bug.
+		panic(err)
+	}
+	return stats
+}
+
+// ExecTask executes one region task as a pure function of the frozen stage
+// input: every parameter it consumes is read through `in` (the stage-input
+// array) and every result is written through `out` (the live array). Both
+// runtimes share this function — the in-process runtime passes rank-bound
+// shared-memory views, the TCP worker runtime passes the coordinator
+// connection — which is what makes their catalogs byte-identical: the
+// computation between the reads and the writes is the same code over the
+// same bytes. Re-executing a task (after a rank failure, or on resume)
+// rewrites identical bytes.
+func (cfg Config) ExecTask(sv *survey.Survey, catalog []model.CatalogEntry,
+	priors *model.Priors, task *partition.Task, in pgas.Getter, out pgas.Putter) (Stats, error) {
+
 	if len(task.Sources) == 0 {
-		return Stats{}
+		return Stats{}, nil
 	}
 	pixScale := sv.Config.PixScale
 	// Determine the images and the fixed neighbors: sources outside the
-	// region whose influence reaches inside.
+	// region whose influence reaches inside. Neighbor selection depends only
+	// on the static catalog, never on live parameters, so the read set is
+	// known before any parameter is fetched — one batched read per task.
 	margin := 35 * pixScale
 	imgBox := task.Box.Expand(margin)
 	images := sv.ImagesInBox(imgBox)
@@ -631,15 +677,7 @@ func (cfg Config) processTask(sv *survey.Survey, catalog []model.CatalogEntry,
 		Images:   images,
 		PixScale: pixScale,
 	}
-	buf := make([]float64, model.ParamDim)
-	for _, s := range task.Sources {
-		st.prev.Get(rank, s, buf)
-		var p model.Params
-		copy(p[:], buf)
-		rg.Sources = append(rg.Sources, s)
-		rg.Entries = append(rg.Entries, &catalog[s])
-		rg.Params = append(rg.Params, p)
-	}
+	readIdx := append([]int(nil), task.Sources...)
 	for i := range catalog {
 		if inRegion[i] {
 			continue
@@ -649,18 +687,34 @@ func (cfg Config) processTask(sv *survey.Survey, catalog []model.CatalogEntry,
 		if !task.Box.Expand(reach).Contains(e.Pos) {
 			continue
 		}
-		st.prev.Get(rank, i, buf)
+		readIdx = append(readIdx, i)
+	}
+	buf := make([]float64, len(readIdx)*model.ParamDim)
+	if err := in.GetMulti(readIdx, buf); err != nil {
+		return Stats{}, err
+	}
+	for k, s := range readIdx {
 		var p model.Params
-		copy(p[:], buf)
-		rg.Neighbors = append(rg.Neighbors, p.Constrained())
+		copy(p[:], buf[k*model.ParamDim:(k+1)*model.ParamDim])
+		if k < len(task.Sources) {
+			rg.Sources = append(rg.Sources, s)
+			rg.Entries = append(rg.Entries, &catalog[s])
+			rg.Params = append(rg.Params, p)
+		} else {
+			rg.Neighbors = append(rg.Neighbors, p.Constrained())
+		}
 	}
 
 	s := cfg
 	s.Seed = cfg.Seed + uint64(task.ID)*0x9e3779b9
 	stats := s.Process(rg)
 
-	for li, gi := range rg.Sources {
-		st.cur.Put(rank, gi, rg.Params[li][:])
+	wbuf := make([]float64, len(rg.Sources)*model.ParamDim)
+	for li := range rg.Sources {
+		copy(wbuf[li*model.ParamDim:(li+1)*model.ParamDim], rg.Params[li][:])
 	}
-	return stats
+	if err := out.PutMulti(rg.Sources, wbuf); err != nil {
+		return stats, err
+	}
+	return stats, nil
 }

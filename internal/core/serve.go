@@ -1,0 +1,334 @@
+// The coordinator backend: the TCP runtime's view of a run. The serve
+// backend exposes the exact runState and Dtree scheduler the in-process
+// runtime uses — task pull, idempotent commit with the checkpoint hook,
+// requeue-on-death, the stage barrier with its frozen-input discipline — to
+// internal/net's coordinator, which speaks the wire protocol to real worker
+// processes. The two runtimes therefore differ only in transport, which is
+// why their catalogs are byte-identical (the property the root-level
+// differential tests enforce).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"celeste/internal/dtree"
+	"celeste/internal/model"
+	cnet "celeste/internal/net"
+	"celeste/internal/partition"
+	"celeste/internal/pgas"
+)
+
+// serveTCP runs the coordinator side of a TCP run: it serves the stage loop
+// to cfg.Processes remote workers instead of in-process goroutine ranks.
+// Stage semantics, checkpoint capture, and failure recovery are the
+// in-process runtime's own machinery.
+func (cfg Config) serveTCP(tasks []partition.Task, stages [][]int, st *runState,
+	tr *cnet.Transport, res *RunResult) error {
+
+	if tr.Listener == nil {
+		return errors.New("core: Transport requires a Listener")
+	}
+	b := &serveBackend{
+		procs:  cfg.Processes,
+		st:     st,
+		stages: stages,
+		done:   make(chan struct{}),
+		s:      st.stage,
+	}
+	for _, d := range st.done {
+		if !d {
+			b.totalLeft++
+		}
+	}
+	b.welcome = cnet.RunConfig{
+		Workers:    uint32(cfg.Processes),
+		Width:      model.ParamDim,
+		Rounds:     uint32(cfg.Rounds),
+		MaxIter:    uint32(cfg.Fit.MaxIter),
+		NTasks:     uint64(len(tasks)),
+		RunHash:    st.hash,
+		Seed:       cfg.Seed,
+		TargetWork: tr.TargetWork,
+		BatchFrac:  cfg.BatchFrac,
+		GradTol:    cfg.Fit.GradTol,
+	}
+	b.setupStageLocked()
+	if b.totalLeft == 0 {
+		// Nothing to schedule (e.g. a checkpoint taken at the very end):
+		// don't make workers connect for an empty run.
+		b.finish()
+	}
+
+	err := cnet.Serve(tr.Listener, b, cnet.ServeOptions{
+		DeadAfter:    tr.DeadAfter,
+		ConnectGrace: tr.ConnectGrace,
+	})
+
+	b.mu.Lock()
+	dead := 0
+	for _, d := range st.deadRank {
+		if d {
+			dead++
+		}
+	}
+	res.FailedRanks = dead
+	rq := b.requeued
+	if b.sched != nil {
+		rq += b.sched.Requeued()
+	}
+	res.RequeuedTasks += int(rq)
+	stranded := b.stranded
+	left := b.totalLeft
+	b.mu.Unlock()
+
+	if err != nil {
+		return err
+	}
+	if st.aborted.Load() {
+		st.mu.Lock()
+		abortErr := st.abortErr
+		st.mu.Unlock()
+		return abortErr
+	}
+	if stranded != nil {
+		return stranded
+	}
+	if left > 0 {
+		return fmt.Errorf("core: TCP run ended with %d tasks outstanding", left)
+	}
+	return nil
+}
+
+// serveBackend implements cnet.Backend over the run state. All scheduler and
+// array access is serialized under mu: at task granularity the wire traffic
+// is a rounding error next to the optimization work, and serialization keeps
+// the stage barrier (the frozen-input array swap) trivially safe against
+// concurrent parameter reads.
+//
+// Lock order: mu strictly outside st.mu — commit (which takes st.mu and runs
+// the checkpoint hook) is always called with mu released.
+type serveBackend struct {
+	procs   int
+	st      *runState
+	stages  [][]int
+	welcome cnet.RunConfig
+
+	mu        sync.Mutex
+	s         int // current stage index into stages
+	sched     *dtree.Scheduler
+	idx       []int       // current stage's global task indices
+	g2l       map[int]int // global -> stage-local for uncommitted tasks
+	stageLeft int         // uncommitted tasks in the current stage
+	totalLeft int         // uncommitted tasks in the whole run
+	requeued  int64       // folded from retired stage schedulers
+	stranded  error
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+var _ cnet.Backend = (*serveBackend)(nil)
+
+func (b *serveBackend) Welcome() cnet.RunConfig { return b.welcome }
+
+func (b *serveBackend) Done() <-chan struct{} { return b.done }
+
+func (b *serveBackend) finish() { b.closeOnce.Do(func() { close(b.done) }) }
+
+// setupStageLocked builds the scheduler for stage b.s over the tasks not yet
+// done, excluding ranks that already died. Caller holds mu (or is still
+// single-threaded during setup).
+func (b *serveBackend) setupStageLocked() {
+	idx := b.stages[b.s]
+	b.idx = idx
+	b.g2l = make(map[int]int, len(idx))
+	doneSub := make([]bool, len(idx))
+	remaining := 0
+	for j, gi := range idx {
+		doneSub[j] = b.st.done[gi]
+		if !doneSub[j] {
+			remaining++
+			b.g2l[gi] = j
+		}
+	}
+	b.stageLeft = remaining
+	b.sched = dtree.NewResumed(dtree.Config{}, b.procs, len(idx), doneSub)
+	for rank, dead := range b.st.deadRank {
+		if dead {
+			b.sched.Fail(rank)
+		}
+	}
+}
+
+// advanceLocked moves to the next stage: the live array becomes the frozen
+// input (the same freezeStage the in-process runtime uses), and a fresh
+// scheduler distributes the next stage's tasks. Caller holds mu, and the
+// caller has established stageLeft == 0 — every task of the finished stage
+// is committed, so no worker can be holding stale stage input.
+func (b *serveBackend) advanceLocked() {
+	// Fold the retiring scheduler's requeue count exactly once: the final
+	// accounting adds the live scheduler's count, so a scheduler must not
+	// survive past its fold.
+	b.requeued += b.sched.Requeued()
+	b.sched = nil
+	b.s++
+	if b.s < len(b.stages) {
+		b.st.freezeStage(b.s)
+		b.setupStageLocked()
+	}
+}
+
+// Next implements the task pull. The wait state covers the window where the
+// pool is dry but uncommitted tasks ride on other ranks: if one dies, its
+// tasks requeue and the waiting worker picks them up — the same polling loop
+// the in-process ranks run.
+func (b *serveBackend) Next(rank int) (int, cnet.NextStatus) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.st.aborted.Load() {
+		b.closeOnce.Do(func() { close(b.done) })
+		return 0, cnet.NextAbort
+	}
+	if rank < 0 || rank >= b.procs || b.st.deadRank[rank] {
+		return 0, cnet.NextShutdown
+	}
+	for {
+		if b.s >= len(b.stages) {
+			b.closeOnce.Do(func() { close(b.done) })
+			return 0, cnet.NextShutdown
+		}
+		j, ok := b.sched.Next(rank)
+		if ok {
+			return b.idx[j], cnet.NextTask
+		}
+		if b.stageLeft > 0 {
+			return 0, cnet.NextWait
+		}
+		b.advanceLocked()
+	}
+}
+
+// Commit finalizes one task exactly once. The done bit and checkpoint hook
+// run via st.commit BEFORE the stage-left counter drops, so the stage cannot
+// advance (and no checkpoint can claim the next stage) until the task is
+// durably committed.
+func (b *serveBackend) Commit(rank, g int, stats [3]uint64) {
+	b.mu.Lock()
+	j, fresh := b.g2l[g]
+	if fresh {
+		delete(b.g2l, g)
+	}
+	b.mu.Unlock()
+	if !fresh {
+		return // duplicate or unknown: commits are idempotent
+	}
+	b.st.commit(g, Stats{
+		Fits:        int64(stats[0]),
+		NewtonIters: int64(stats[1]),
+		Visits:      int64(stats[2]),
+	})
+	b.mu.Lock()
+	// A fresh commit implies stageLeft > 0, so the stage (and its
+	// scheduler) cannot have advanced since the g2l lookup.
+	b.sched.Done(rank, j)
+	b.stageLeft--
+	b.totalLeft--
+	if rank >= 0 && rank < len(b.st.completedBy) {
+		b.st.completedBy[rank]++
+	}
+	fin := b.totalLeft == 0
+	b.mu.Unlock()
+	if fin {
+		b.finish()
+	}
+}
+
+// Fail retires a dead rank: its in-flight tasks and undistributed pool
+// requeue to a live ancestor, and the rank stays dead for the rest of the
+// run — exactly the in-process fault semantics, driven by real connection
+// deaths instead of an injected plan.
+func (b *serveBackend) Fail(rank int) {
+	if rank < 0 || rank >= b.procs {
+		return
+	}
+	b.mu.Lock()
+	if b.st.deadRank[rank] {
+		b.mu.Unlock()
+		return
+	}
+	b.st.deadRank[rank] = true
+	if b.sched != nil {
+		b.sched.Fail(rank)
+	}
+	dead := 0
+	for _, d := range b.st.deadRank {
+		if d {
+			dead++
+		}
+	}
+	fin := false
+	if dead == b.procs && b.totalLeft > 0 && b.stranded == nil {
+		b.stranded = fmt.Errorf("core: %d tasks stranded in stage %d: every worker of %d is dead",
+			b.totalLeft, b.s, b.procs)
+		fin = true
+	}
+	b.mu.Unlock()
+	if fin {
+		b.finish()
+	}
+}
+
+// Get serves stage-input elements from the frozen array with the worker's
+// rank as the traffic-accounting caller, exactly as the in-process views do.
+func (b *serveBackend) Get(rank int, idx []uint64, out []float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if rank < 0 || rank >= b.procs || b.st.deadRank[rank] {
+		return fmt.Errorf("core: rank %d is retired", rank)
+	}
+	w := model.ParamDim
+	n := uint64(b.st.prev.N())
+	for k, i := range idx {
+		if i >= n {
+			return fmt.Errorf("core: get of element %d outside [0,%d)", i, n)
+		}
+		b.st.prev.Get(rank, int(i), out[k*w:(k+1)*w])
+	}
+	return nil
+}
+
+// Put writes result elements into the live array.
+func (b *serveBackend) Put(rank int, idx []uint64, vals []float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if rank < 0 || rank >= b.procs || b.st.deadRank[rank] {
+		return fmt.Errorf("core: rank %d is retired", rank)
+	}
+	w := model.ParamDim
+	n := uint64(b.st.cur.N())
+	for k, i := range idx {
+		if i >= n {
+			return fmt.Errorf("core: put of element %d outside [0,%d)", i, n)
+		}
+		b.st.cur.Put(rank, int(i), vals[k*w:(k+1)*w])
+	}
+	return nil
+}
+
+// Snapshot serves the versioned PGAS snapshots the checkpoint format is
+// built from: the live array is captured fresh; the frozen stage input is
+// the serialized form every checkpoint of this stage shares.
+func (b *serveBackend) Snapshot(which byte) (*pgas.Snapshot, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch which {
+	case cnet.SnapCur:
+		return b.st.cur.Snapshot(), nil
+	case cnet.SnapStageStart:
+		return b.st.prevSnap, nil
+	default:
+		return nil, fmt.Errorf("core: unknown snapshot selector %d", which)
+	}
+}

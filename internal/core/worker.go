@@ -1,0 +1,113 @@
+// The worker side of the TCP runtime. A worker process owns a full copy of
+// the run inputs (survey, initialization catalog), reconstructs everything
+// derived — priors, the two-stage partition, the run hash — and proves the
+// reconstruction byte-identical to the coordinator's before it is served a
+// single task. From then on it runs the exact ExecTask the in-process ranks
+// run, reading frozen stage input and writing results through the wire.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"celeste/internal/model"
+	cnet "celeste/internal/net"
+	"celeste/internal/partition"
+	"celeste/internal/survey"
+	"celeste/internal/vi"
+)
+
+// WorkerOptions configures one TCP worker process.
+type WorkerOptions struct {
+	// Threads is the Cyclades thread count inside each task. It is a free
+	// parameter: the frozen-input discipline makes the catalog independent
+	// of it, so heterogeneous workers still produce identical bytes.
+	Threads int
+
+	// HeartbeatEvery is the liveness beacon period (default 500ms); it must
+	// be well under the coordinator's DeadAfter.
+	HeartbeatEvery time.Duration
+
+	// DialTimeout bounds the TCP dial and handshake (default 10s).
+	DialTimeout time.Duration
+
+	// Poll is the retry sleep while the remote pool is dry (default 2ms).
+	Poll time.Duration
+
+	// OnTask, when set, is invoked after each task assignment and before
+	// execution, with the global task index and how many tasks this worker
+	// has completed so far. The chaos tests use it to SIGKILL a worker with
+	// a task in hand.
+	OnTask func(task, completed int)
+}
+
+// RunWorker connects to a serving coordinator and processes tasks until the
+// coordinator shuts the session down. A completed run returns nil; an
+// aborted run returns cnet.ErrAborted (the worker did nothing wrong, but a
+// supervisor must not read the exit as success). Other errors are connection
+// failures, protocol violations, and input mismatches (the run-hash
+// handshake refuses a worker whose reconstructed run differs from the
+// coordinator's).
+func RunWorker(addr string, sv *survey.Survey, catalog []model.CatalogEntry, opts WorkerOptions) error {
+	cl, err := cnet.Dial(addr, cnet.DialOptions{Timeout: opts.DialTimeout, Poll: opts.Poll})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	w := cl.Welcome()
+	if int(w.Width) != model.ParamDim {
+		return fmt.Errorf("core: coordinator parameters have width %d, this build has %d",
+			w.Width, model.ParamDim)
+	}
+	cfg := Config{
+		Threads:   opts.Threads,
+		Rounds:    int(w.Rounds),
+		BatchFrac: w.BatchFrac,
+		Seed:      w.Seed,
+		Processes: int(w.Workers),
+		Fit:       vi.Options{MaxIter: int(w.MaxIter), GradTol: w.GradTol},
+	}
+	tasks := partition.GenerateTwoStage(catalog, sv.Config.Region, partition.Options{
+		TargetWork: w.TargetWork,
+	})
+	if uint64(len(tasks)) != w.NTasks {
+		return fmt.Errorf("core: regenerated %d tasks, coordinator schedules %d (different run inputs?)",
+			len(tasks), w.NTasks)
+	}
+	hash := RunHash(sv, catalog, tasks, cfg)
+	if hash != w.RunHash {
+		return fmt.Errorf("core: run hash mismatch: this worker computed %016x, coordinator's run is %016x",
+			hash, w.RunHash)
+	}
+	if err := cl.Ready(hash, opts.HeartbeatEvery); err != nil {
+		return err
+	}
+
+	priors := model.FitPriors(catalog)
+	completed := 0
+	for {
+		g, ok, err := cl.NextTask()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if g < 0 || g >= len(tasks) {
+			return fmt.Errorf("core: coordinator assigned task %d of %d", g, len(tasks))
+		}
+		if opts.OnTask != nil {
+			opts.OnTask(g, completed)
+		}
+		stats, err := cfg.ExecTask(sv, catalog, &priors, &tasks[g], cl, cl)
+		if err != nil {
+			return err
+		}
+		if err := cl.TaskDone(g, [3]uint64{
+			uint64(stats.Fits), uint64(stats.NewtonIters), uint64(stats.Visits),
+		}); err != nil {
+			return err
+		}
+		completed++
+	}
+}

@@ -121,6 +121,25 @@ func ChunkSize(cfg Config, remaining, subRequester, subHolder int) int {
 
 // --- In-process runtime ---
 
+// Source is the transport-agnostic pull interface a rank's work loop drives:
+// hand me a task, confirm it done, or surrender everything I hold. The
+// in-memory Scheduler implements it directly; internal/net puts a TCP client
+// in front of a remote coordinator that holds the real Scheduler, so the same
+// work loop runs unchanged whether the scheduler is a struct in this process
+// or a process on another machine.
+type Source interface {
+	// Next returns the next task for rank, or ok=false when the supply is
+	// exhausted (or the rank has been failed).
+	Next(rank int) (task int, ok bool)
+	// Done confirms that rank finished the task Next handed it.
+	Done(rank, task int)
+	// Fail removes rank from the schedule, requeueing its in-flight tasks
+	// and undistributed pool; it returns how many tasks were requeued.
+	Fail(rank int) int
+}
+
+var _ Source = (*Scheduler)(nil)
+
 // Scheduler runs the Dtree policy over in-process ranks. The root holds the
 // dynamic pool; every rank holds a local pool refilled through its parent
 // chain. It is safe for concurrent use by one goroutine per rank.

@@ -1,0 +1,364 @@
+// The coordinator side of the TCP runtime: accept worker connections, assign
+// ranks, enforce the handshake (protocol version, independently recomputed
+// run hash), serve scheduler and PGAS traffic, and detect dead workers so
+// their in-flight tasks requeue — the paper's Section IV-B recovery story
+// with a real wire in the middle.
+package net
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"celeste/internal/pgas"
+)
+
+// NextStatus is the backend's answer to a task pull.
+type NextStatus int
+
+const (
+	// NextTask hands the rank one task.
+	NextTask NextStatus = iota
+	// NextWait means the pool is dry but the stage is unfinished (tasks are
+	// in flight on other ranks, and a death may requeue them); retry.
+	NextWait
+	// NextShutdown means the run is complete (or the rank is retired); the
+	// worker should exit cleanly.
+	NextShutdown
+	// NextAbort means the run was aborted; the worker should exit.
+	NextAbort
+)
+
+// Backend is the run state a coordinator serves: task scheduling, the PGAS
+// arrays, and commit bookkeeping. internal/core implements it over the same
+// runState the in-process runtime uses, which is what makes the two runtimes
+// byte-identical — they share everything but the transport.
+type Backend interface {
+	// Welcome returns the run parameters advertised to connecting workers.
+	Welcome() RunConfig
+	// Next asks for rank's next task (a global task index).
+	Next(rank int) (task int, status NextStatus)
+	// Commit records a completed task and its work stats. It must be
+	// idempotent: a task already committed is ignored.
+	Commit(rank, task int, stats [3]uint64)
+	// Fail retires a dead rank, requeueing its in-flight work. Idempotent.
+	Fail(rank int)
+	// Get copies stage-input elements into out (len(idx)*width values).
+	Get(rank int, idx []uint64, out []float64) error
+	// Put writes result elements into the live array.
+	Put(rank int, idx []uint64, vals []float64) error
+	// Snapshot captures one of the PGAS arrays (SnapCur or SnapStageStart).
+	Snapshot(which byte) (*pgas.Snapshot, error)
+	// Done is closed when the run reaches a terminal state (complete,
+	// aborted, or stranded); Serve drains and returns after it closes.
+	Done() <-chan struct{}
+}
+
+// ServeOptions tunes the coordinator's failure detection.
+type ServeOptions struct {
+	// DeadAfter is how long a worker may stay silent (no frame, not even a
+	// heartbeat) before it is declared dead and its tasks requeue.
+	// Default 10s.
+	DeadAfter time.Duration
+	// ConnectGrace is how long the coordinator waits for the full worker
+	// complement to connect before failing the absent ranks, so their
+	// statically allocated task pools requeue to the ranks that did show
+	// up. Default 30s.
+	ConnectGrace time.Duration
+}
+
+func (o *ServeOptions) defaults() {
+	if o.DeadAfter == 0 {
+		o.DeadAfter = 10 * time.Second
+	}
+	if o.ConnectGrace == 0 {
+		o.ConnectGrace = 30 * time.Second
+	}
+}
+
+// Serve runs the coordinator over l until the backend reaches a terminal
+// state, then drains the connections and returns. Worker deaths (connection
+// errors, heartbeat silence) are reported to the backend via Fail; Serve
+// itself returns an error only for listener failures.
+func Serve(l net.Listener, b Backend, opts ServeOptions) error {
+	opts.defaults()
+	cfg := b.Welcome()
+	s := &coordinator{
+		b:       b,
+		cfg:     cfg,
+		opts:    opts,
+		conns:   make(map[net.Conn]struct{}),
+		workers: int(cfg.Workers),
+	}
+
+	var wg sync.WaitGroup
+	acceptDone := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		acceptDone <- s.acceptLoop(l)
+	}()
+
+	// Fail ranks that never connect, so their static pools requeue.
+	grace := time.AfterFunc(opts.ConnectGrace, s.failAbsentRanks)
+	defer grace.Stop()
+
+	<-b.Done()
+	l.Close() // stops the accept loop
+	// Let live connections drain gracefully: each worker receives its
+	// Shutdown on its next pull. A SIGKILLed worker's connection errors out
+	// immediately; a hung one trips its read deadline within DeadAfter.
+	drained := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(opts.DeadAfter + 2*time.Second):
+		s.closeAll()
+		<-drained
+	}
+	wg.Wait()
+	if err := <-acceptDone; err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// coordinator is the shared state of one Serve call.
+type coordinator struct {
+	b    Backend
+	cfg  RunConfig
+	opts ServeOptions
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	nextRank int
+	workers  int
+	sealed   bool // no further rank assignment (grace expired)
+
+	handlers sync.WaitGroup
+}
+
+func (s *coordinator) acceptLoop(l net.Listener) error {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.handle(c)
+		}()
+	}
+}
+
+// failAbsentRanks retires every rank that has not connected by the end of
+// the grace period. Fail is idempotent and a completed run ignores it, so
+// firing late is harmless.
+func (s *coordinator) failAbsentRanks() {
+	s.mu.Lock()
+	from := s.nextRank
+	s.sealed = true
+	s.mu.Unlock()
+	for r := from; r < s.workers; r++ {
+		s.b.Fail(r)
+	}
+}
+
+func (s *coordinator) closeAll() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// assignRank hands out the next free rank, or -1 when the complement is full
+// or the connect grace has expired.
+func (s *coordinator) assignRank() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sealed || s.nextRank >= s.workers {
+		return -1
+	}
+	r := s.nextRank
+	s.nextRank++
+	return r
+}
+
+// sendError best-effort delivers a fatal error to the peer.
+func sendError(fw *frameWriter, text string) {
+	_ = fw.send(&Message{Type: MsgError, Text: text})
+}
+
+// handle runs one worker connection: handshake, then the serve loop. Any
+// exit after rank assignment that is not a clean shutdown fails the rank.
+func (s *coordinator) handle(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	fw := newFrameWriter(c)
+
+	// Handshake: Hello → Welcome(rank, run config) → Ready(worker's hash).
+	// The handshake deadline is the connect grace, not DeadAfter: between
+	// Welcome and Ready the worker regenerates the whole run (partition +
+	// run hash over every survey pixel), which legitimately takes far
+	// longer than a heartbeat period on large surveys. Deadlines are set
+	// with SetDeadline so writes are bounded too — a stalled peer with a
+	// full socket buffer must not wedge this handler forever.
+	c.SetDeadline(time.Now().Add(s.opts.ConnectGrace))
+	m, err := ReadMessage(c)
+	if err != nil {
+		if errors.Is(err, ErrBadVersion) {
+			sendError(fw, err.Error())
+		}
+		return
+	}
+	if m.Type != MsgHello {
+		sendError(fw, "net: expected Hello to open the handshake")
+		return
+	}
+	rank := s.assignRank()
+	if rank < 0 {
+		sendError(fw, "net: no rank available (worker complement already full)")
+		return
+	}
+	cfg := s.cfg
+	if err := fw.send(&Message{Type: MsgWelcome, Rank: uint32(rank), Welcome: &cfg}); err != nil {
+		s.b.Fail(rank)
+		return
+	}
+	c.SetDeadline(time.Now().Add(s.opts.ConnectGrace))
+	m, err = ReadMessage(c)
+	if err != nil || m.Type != MsgReady {
+		s.b.Fail(rank)
+		return
+	}
+	if m.Hash != s.cfg.RunHash {
+		sendError(fw, fmt.Sprintf("net: run hash mismatch: worker computed %016x, run is %016x",
+			m.Hash, s.cfg.RunHash))
+		s.b.Fail(rank)
+		return
+	}
+
+	if err := s.serveRank(c, fw, rank); err != nil {
+		// The worker died, hung past its heartbeat deadline, or broke
+		// protocol: requeue everything it held. The commit path is
+		// idempotent, so even a task it had already reported is safe to
+		// re-execute elsewhere.
+		s.b.Fail(rank)
+	}
+}
+
+// serveRank is the per-worker message loop. It returns nil after a clean
+// shutdown and an error for every death-like exit.
+func (s *coordinator) serveRank(c net.Conn, fw *frameWriter, rank int) error {
+	width := int(s.cfg.Width)
+	for {
+		// One deadline covers the read and any response write: a worker
+		// that stops draining its socket mid-response dies like one that
+		// stops sending heartbeats.
+		c.SetDeadline(time.Now().Add(s.opts.DeadAfter))
+		m, err := ReadMessage(c)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case MsgHeartbeat:
+			// Liveness only; reading it already refreshed the deadline.
+		case MsgTaskReq:
+			task, status := s.b.Next(rank)
+			var resp Message
+			switch status {
+			case NextTask:
+				resp = Message{Type: MsgTask, Task: uint64(task)}
+			case NextWait:
+				resp = Message{Type: MsgWait}
+			case NextShutdown:
+				resp = Message{Type: MsgShutdown, Reason: ShutdownComplete}
+			case NextAbort:
+				resp = Message{Type: MsgShutdown, Reason: ShutdownAborted}
+			}
+			if err := fw.send(&resp); err != nil {
+				return err
+			}
+			if status == NextShutdown || status == NextAbort {
+				return nil
+			}
+		case MsgTaskDone:
+			s.b.Commit(rank, int(m.Task), m.Stats)
+		case MsgGet:
+			// The response must fit one frame; refuse a batch that could not
+			// before allocating for it.
+			if len(m.Indices)*width > maxFramePayload/8 {
+				err := fmt.Errorf("net: get batch of %d elements at width %d exceeds one frame",
+					len(m.Indices), width)
+				sendError(fw, err.Error())
+				return err
+			}
+			out := make([]float64, len(m.Indices)*width)
+			if err := s.b.Get(rank, m.Indices, out); err != nil {
+				sendError(fw, err.Error())
+				return err
+			}
+			if err := fw.send(&Message{Type: MsgParams, Values: out}); err != nil {
+				return err
+			}
+		case MsgPut:
+			if len(m.Values) != len(m.Indices)*width {
+				err := fmt.Errorf("net: put carries %d values for %d elements of width %d",
+					len(m.Values), len(m.Indices), width)
+				sendError(fw, err.Error())
+				return err
+			}
+			if err := s.b.Put(rank, m.Indices, m.Values); err != nil {
+				sendError(fw, err.Error())
+				return err
+			}
+		case MsgSnapshotReq:
+			snap, err := s.b.Snapshot(m.Which)
+			if err != nil {
+				sendError(fw, err.Error())
+				return err
+			}
+			if err := fw.send(&Message{Type: MsgSnapshot, Which: m.Which, Snap: snap}); err != nil {
+				return err
+			}
+		case MsgError:
+			return errors.New("net: worker reported: " + m.Text)
+		default:
+			err := fmt.Errorf("net: unexpected message type %d from rank %d", m.Type, rank)
+			sendError(fw, err.Error())
+			return err
+		}
+	}
+}
+
+// Transport carries the coordinator's listening socket and the run
+// parameters that only the caller knows into core.RunOptions. Setting it on
+// a run replaces the in-process goroutine ranks with cfg.Processes real
+// worker processes pulling tasks over TCP.
+type Transport struct {
+	// Listener accepts worker connections; the run closes it on completion.
+	Listener net.Listener
+	// TargetWork is the partition knob advertised to workers so they can
+	// regenerate the identical two-stage task list.
+	TargetWork float64
+	// DeadAfter and ConnectGrace tune failure detection (see ServeOptions).
+	DeadAfter    time.Duration
+	ConnectGrace time.Duration
+}

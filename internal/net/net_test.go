@@ -1,0 +1,614 @@
+package net
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"celeste/internal/pgas"
+)
+
+// fakeBackend is a scripted run: nTasks tasks handed out in order, a prev
+// array served for reads, a cur array collecting writes. It implements
+// Backend without any inference machinery, so the coordinator/worker
+// plumbing is tested in isolation.
+type fakeBackend struct {
+	cfg RunConfig
+
+	mu        sync.Mutex
+	next      int
+	requeued  []int         // tasks surrendered by failed ranks, served first
+	inflight  map[int][]int // rank -> tasks handed out, not yet committed
+	committed map[int][3]uint64
+	failed    map[int]bool
+	byRank    map[int][]int
+	aborted   bool
+	gated     bool // while true, Next only ever answers Wait
+	waits     int  // serve this many Wait responses before the first task
+
+	prev, cur *pgas.Array
+
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+func newFakeBackend(workers, width, nTasks int) *fakeBackend {
+	b := &fakeBackend{
+		cfg: RunConfig{
+			Workers: uint32(workers), Width: uint32(width),
+			Rounds: 1, MaxIter: 8, NTasks: uint64(nTasks),
+			RunHash: 0xc0ffee, Seed: 7, TargetWork: 1e5, BatchFrac: 0.34,
+		},
+		inflight:  make(map[int][]int),
+		committed: make(map[int][3]uint64),
+		failed:    make(map[int]bool),
+		byRank:    make(map[int][]int),
+		prev:      pgas.New(nTasks, width, workers),
+		cur:       pgas.New(nTasks, width, workers),
+		done:      make(chan struct{}),
+	}
+	buf := make([]float64, width)
+	for i := 0; i < nTasks; i++ {
+		for k := range buf {
+			buf[k] = float64(i*100 + k)
+		}
+		b.prev.Put(0, i, buf)
+	}
+	return b
+}
+
+func (b *fakeBackend) Welcome() RunConfig    { return b.cfg }
+func (b *fakeBackend) Done() <-chan struct{} { return b.done }
+func (b *fakeBackend) finish()               { b.closeOnce.Do(func() { close(b.done) }) }
+
+func (b *fakeBackend) Next(rank int) (int, NextStatus) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		b.finish()
+		return 0, NextAbort
+	}
+	if b.gated || b.waits > 0 {
+		if b.waits > 0 {
+			b.waits--
+		}
+		return 0, NextWait
+	}
+	if n := len(b.requeued); n > 0 {
+		t := b.requeued[n-1]
+		b.requeued = b.requeued[:n-1]
+		b.inflight[rank] = append(b.inflight[rank], t)
+		return t, NextTask
+	}
+	if b.next < int(b.cfg.NTasks) {
+		t := b.next
+		b.next++
+		b.inflight[rank] = append(b.inflight[rank], t)
+		return t, NextTask
+	}
+	if len(b.committed) == int(b.cfg.NTasks) {
+		b.finish()
+		return 0, NextShutdown
+	}
+	return 0, NextWait
+}
+
+func (b *fakeBackend) Commit(rank, task int, stats [3]uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, dup := b.committed[task]; dup {
+		return
+	}
+	b.committed[task] = stats
+	b.byRank[rank] = append(b.byRank[rank], task)
+	held := b.inflight[rank]
+	for k, t := range held {
+		if t == task {
+			b.inflight[rank] = append(held[:k], held[k+1:]...)
+			break
+		}
+	}
+	if len(b.committed) == int(b.cfg.NTasks) {
+		b.finish()
+	}
+}
+
+func (b *fakeBackend) Fail(rank int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failed[rank] {
+		return
+	}
+	b.failed[rank] = true
+	b.requeued = append(b.requeued, b.inflight[rank]...)
+	b.inflight[rank] = nil
+}
+
+func (b *fakeBackend) Get(rank int, idx []uint64, out []float64) error {
+	w := int(b.cfg.Width)
+	for k, i := range idx {
+		if i >= uint64(b.prev.N()) {
+			return fmt.Errorf("fake: element %d out of range", i)
+		}
+		b.prev.Get(rank, int(i), out[k*w:(k+1)*w])
+	}
+	return nil
+}
+
+func (b *fakeBackend) Put(rank int, idx []uint64, vals []float64) error {
+	w := int(b.cfg.Width)
+	for k, i := range idx {
+		if i >= uint64(b.cur.N()) {
+			return fmt.Errorf("fake: element %d out of range", i)
+		}
+		b.cur.Put(rank, int(i), vals[k*w:(k+1)*w])
+	}
+	return nil
+}
+
+func (b *fakeBackend) Snapshot(which byte) (*pgas.Snapshot, error) {
+	switch which {
+	case SnapCur:
+		return b.cur.Snapshot(), nil
+	case SnapStageStart:
+		return b.prev.Snapshot(), nil
+	}
+	return nil, fmt.Errorf("fake: unknown selector %d", which)
+}
+
+// startServe launches Serve over a loopback listener and returns the address
+// plus a join function.
+func startServe(t *testing.T, b Backend, opts ServeOptions) (string, func() error) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- Serve(l, b, opts) }()
+	return l.Addr().String(), func() error { return <-errCh }
+}
+
+// runWorkerLoop is a minimal in-test worker: pull, read the task's element,
+// write its negation, report done.
+func runWorkerLoop(t *testing.T, addr string, hash uint64) error {
+	cl, err := Dial(addr, DialOptions{Poll: time.Millisecond})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	if err := cl.Ready(hash, 20*time.Millisecond); err != nil {
+		return err
+	}
+	w := int(cl.Welcome().Width)
+	buf := make([]float64, w)
+	for {
+		task, ok, err := cl.NextTask()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := cl.GetMulti([]int{task}, buf); err != nil {
+			return err
+		}
+		for k := range buf {
+			buf[k] = -buf[k]
+		}
+		if err := cl.PutMulti([]int{task}, buf); err != nil {
+			return err
+		}
+		if err := cl.TaskDone(task, [3]uint64{1, 2, 3}); err != nil {
+			return err
+		}
+	}
+}
+
+// TestServeHappyPath drives two workers through a full scripted run: every
+// task committed exactly once, every Get answered from prev, every Put
+// landed in cur, ranks assigned distinctly.
+func TestServeHappyPath(t *testing.T) {
+	const nTasks, width = 9, 4
+	b := newFakeBackend(2, width, nTasks)
+	b.waits = 3 // exercise the wait/retry path too
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 2 * time.Second})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = runWorkerLoop(t, addr, b.cfg.RunHash)
+		}(i)
+	}
+	wg.Wait()
+	if err := join(); err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if len(b.committed) != nTasks {
+		t.Fatalf("%d tasks committed, want %d", len(b.committed), nTasks)
+	}
+	for task, stats := range b.committed {
+		if stats != [3]uint64{1, 2, 3} {
+			t.Errorf("task %d committed with stats %v", task, stats)
+		}
+	}
+	buf := make([]float64, width)
+	for i := 0; i < nTasks; i++ {
+		b.cur.Get(0, i, buf)
+		for k, v := range buf {
+			if want := -float64(i*100 + k); v != want {
+				t.Fatalf("cur[%d][%d] = %v, want %v", i, k, v, want)
+			}
+		}
+	}
+}
+
+// TestServeSnapshotFetch: a worker can pull both versioned arrays whole —
+// the same Snapshot machinery the checkpoint format serializes.
+func TestServeSnapshotFetch(t *testing.T) {
+	b := newFakeBackend(1, 3, 4)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 2 * time.Second})
+	cl, err := Dial(addr, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ready(b.cfg.RunHash, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Rank(); got != 0 {
+		t.Errorf("rank = %d, want 0", got)
+	}
+	snap, err := cl.FetchSnapshot(SnapStageStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, b.prev.Snapshot()) {
+		t.Error("remote stage-start snapshot differs from the local array's")
+	}
+	if _, err := cl.FetchSnapshot(SnapCur); err != nil {
+		t.Fatal(err)
+	}
+	// Drain the run so Serve exits.
+	if err := runWorkerLoopOn(cl); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runWorkerLoopOn(cl *Client) error {
+	w := int(cl.Welcome().Width)
+	buf := make([]float64, w)
+	for {
+		task, ok, err := cl.NextTask()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := cl.GetMulti([]int{task}, buf); err != nil {
+			return err
+		}
+		if err := cl.TaskDone(task, [3]uint64{1, 2, 3}); err != nil {
+			return err
+		}
+	}
+}
+
+// TestServeHashMismatchRefused: a worker whose reconstructed run differs is
+// refused and its rank failed — it must never be served a task.
+func TestServeHashMismatchRefused(t *testing.T) {
+	b := newFakeBackend(2, 3, 4)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 2 * time.Second})
+
+	err := runWorkerLoop(t, addr, b.cfg.RunHash+1)
+	if err == nil {
+		t.Fatal("mismatched worker ran to completion")
+	}
+
+	// A correct worker still finishes the run (rank 1's pool is empty in
+	// this scripted backend, so nothing strands).
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatalf("good worker: %v", err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.failed[0] {
+		t.Error("mismatched worker's rank was not failed")
+	}
+	if len(b.committed) != 4 {
+		t.Errorf("%d tasks committed, want 4", len(b.committed))
+	}
+}
+
+// TestServeAbruptDeathFailsRank: a worker that dies mid-task (connection
+// torn down, no goodbye) must be failed so its work requeues.
+func TestServeAbruptDeathFailsRank(t *testing.T) {
+	b := newFakeBackend(2, 3, 4)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 2 * time.Second})
+
+	cl, err := Dial(addr, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ready(b.cfg.RunHash, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cl.NextTask(); err != nil || !ok {
+		t.Fatalf("task pull: ok=%v err=%v", ok, err)
+	}
+	cl.Close() // dies with the task in hand
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.mu.Lock()
+		failed := b.failed[cl.Rank()]
+		b.mu.Unlock()
+		if failed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead worker's rank was never failed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatalf("surviving worker: %v", err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeHeartbeatTimeoutFailsRank: a connected-but-silent worker (hung,
+// not dead — the socket stays open) trips the read deadline and is failed.
+func TestServeHeartbeatTimeoutFailsRank(t *testing.T) {
+	b := newFakeBackend(2, 3, 4)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 120 * time.Millisecond})
+
+	// A raw connection that completes the handshake and then goes silent:
+	// no heartbeat goroutine, no traffic, socket held open.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bw := bufio.NewWriter(conn)
+	if err := WriteMessage(bw, &Message{Type: MsgHello}); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	if _, err := ReadMessage(conn); err != nil { // Welcome
+		t.Fatal(err)
+	}
+	if err := WriteMessage(bw, &Message{Type: MsgReady, Hash: b.cfg.RunHash}); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.mu.Lock()
+		failed := b.failed[0]
+		b.mu.Unlock()
+		if failed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("silent worker was never declared dead")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatalf("surviving worker: %v", err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeVersionMismatchRefused: a peer speaking another protocol version
+// is told so and refused.
+func TestServeVersionMismatchRefused(t *testing.T) {
+	b := newFakeBackend(1, 3, 1)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: time.Second})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(frame(ProtocolVersion+1, MsgHello, nil)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMessage(conn)
+	if err != nil {
+		t.Fatalf("expected an error reply, got %v", err)
+	}
+	if m.Type != MsgError {
+		t.Fatalf("got message type %d, want MsgError", m.Type)
+	}
+	// Finish the run so Serve exits.
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeAbortShutsWorkersDown: after the backend aborts, pulling workers
+// are shut down with the abort surfaced as ErrAborted, so a supervisor can
+// tell an aborted run from a completed one.
+func TestServeAbortShutsWorkersDown(t *testing.T) {
+	b := newFakeBackend(1, 3, 8)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: time.Second})
+	cl, err := Dial(addr, DialOptions{Poll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ready(b.cfg.RunHash, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cl.NextTask(); err != nil || !ok {
+		t.Fatalf("first pull: ok=%v err=%v", ok, err)
+	}
+	b.mu.Lock()
+	b.aborted = true
+	b.mu.Unlock()
+	if _, ok, err := cl.NextTask(); ok || !errors.Is(err, ErrAborted) {
+		t.Fatalf("post-abort pull: ok=%v err=%v, want ErrAborted", ok, err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeConnectGraceFailsAbsentRanks: ranks that never connect are failed
+// after the grace period (so their statically allocated work requeues
+// instead of stranding the run), and a connection arriving after the grace
+// sealed rank assignment is refused.
+func TestServeConnectGraceFailsAbsentRanks(t *testing.T) {
+	b := newFakeBackend(3, 3, 4)
+	b.gated = true // hold the run open until the test has observed the grace
+	addr, join := startServe(t, b, ServeOptions{
+		DeadAfter:    5 * time.Second,
+		ConnectGrace: 100 * time.Millisecond,
+	})
+	workerErr := make(chan error, 1)
+	go func() { workerErr <- runWorkerLoop(t, addr, b.cfg.RunHash) }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.mu.Lock()
+		ok := b.failed[1] && b.failed[2]
+		b.mu.Unlock()
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("absent ranks were never failed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// A post-grace connection is refused: rank assignment is sealed even
+	// though only one of three ranks ever connected.
+	if _, err := Dial(addr, DialOptions{Timeout: time.Second}); err == nil {
+		t.Error("late worker was accepted after the grace period sealed ranks")
+	}
+
+	b.mu.Lock()
+	b.gated = false
+	b.mu.Unlock()
+	if err := <-workerErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDialRejectsNonCoordinator: dialing something that does not speak the
+// protocol fails cleanly.
+func TestDialRejectsNonCoordinator(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		c.Write([]byte("HTTP/1.1 400 Bad Request\r\n\r\n"))
+		c.Close()
+	}()
+	if _, err := Dial(l.Addr().String(), DialOptions{Timeout: time.Second}); err == nil {
+		t.Fatal("dial accepted a non-coordinator peer")
+	}
+}
+
+// TestClientBatchSizeValidation: mismatched buffer sizes are caught on the
+// client before anything hits the wire.
+func TestClientBatchSizeValidation(t *testing.T) {
+	b := newFakeBackend(1, 3, 2)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: time.Second})
+	cl, err := Dial(addr, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ready(b.cfg.RunHash, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.GetMulti([]int{0}, make([]float64, 5)); err == nil {
+		t.Error("GetMulti accepted a mis-sized buffer")
+	}
+	if err := cl.PutMulti([]int{0}, make([]float64, 5)); err == nil {
+		t.Error("PutMulti accepted a mis-sized buffer")
+	}
+	if err := runWorkerLoopOn(cl); err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeGetOutOfRangeKillsConn: a worker asking for elements outside the
+// array gets an error and its rank is failed — the coordinator never
+// tolerates a peer it cannot trust.
+func TestServeGetOutOfRangeKillsConn(t *testing.T) {
+	b := newFakeBackend(2, 3, 2)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: time.Second})
+	cl, err := Dial(addr, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ready(b.cfg.RunHash, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.GetMulti([]int{99}, make([]float64, 3)); err == nil {
+		t.Fatal("out-of-range get succeeded")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.mu.Lock()
+		failed := b.failed[0]
+		b.mu.Unlock()
+		if failed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("misbehaving worker's rank was never failed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}

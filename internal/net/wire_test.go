@@ -1,0 +1,221 @@
+package net
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"celeste/internal/pgas"
+)
+
+// sampleWelcome returns a representative run advertisement.
+func sampleWelcome() *RunConfig {
+	return &RunConfig{
+		Workers: 4, Width: 44, Rounds: 2, MaxIter: 40,
+		NTasks: 17, RunHash: 0xdeadbeefcafe, Seed: 9,
+		TargetWork: 1e5, BatchFrac: 0.34, GradTol: 1e-3,
+	}
+}
+
+// sampleSnapshot builds a small live pgas snapshot with non-zero versions.
+func sampleSnapshot() *pgas.Snapshot {
+	a := pgas.New(5, 3, 2)
+	buf := []float64{0, 0, 0}
+	for i := 0; i < 5; i++ {
+		buf[0], buf[1], buf[2] = float64(i), -float64(i), 0.5*float64(i)
+		a.Put(0, i, buf)
+	}
+	return a.Snapshot()
+}
+
+// sampleMessages covers every encodable message type.
+func sampleMessages() []*Message {
+	return []*Message{
+		{Type: MsgHello},
+		{Type: MsgWelcome, Rank: 2, Welcome: sampleWelcome()},
+		{Type: MsgReady, Hash: 0xfeed},
+		{Type: MsgTaskReq},
+		{Type: MsgTask, Task: 11},
+		{Type: MsgWait},
+		{Type: MsgShutdown, Reason: ShutdownAborted},
+		{Type: MsgTaskDone, Task: 3, Stats: [3]uint64{5, 60, 7000}},
+		{Type: MsgGet, Indices: []uint64{0, 4, 2}},
+		{Type: MsgParams, Values: []float64{1.5, -2.25, 0}},
+		{Type: MsgPut, Indices: []uint64{1, 3}, Values: []float64{9, 8, 7, 6}},
+		{Type: MsgHeartbeat},
+		{Type: MsgError, Text: "something broke"},
+		{Type: MsgSnapshotReq, Which: SnapStageStart},
+		{Type: MsgSnapshot, Which: SnapCur, Snap: sampleSnapshot()},
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("type %d: write: %v", m.Type, err)
+		}
+		got, err := ReadMessage(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("type %d: read: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Errorf("type %d: round trip mismatch:\n sent %+v\n  got %+v", m.Type, m, got)
+		}
+	}
+}
+
+// frame hand-builds a raw frame for corruption tests.
+func frame(version, typ byte, payload []byte) []byte {
+	b := append([]byte(nil), wireMagic[:]...)
+	b = append(b, version, typ)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+	return append(b, payload...)
+}
+
+func encoded(t *testing.T, m *Message) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadMessageRejectsMalformedFrames(t *testing.T) {
+	validWelcome := encoded(t, &Message{Type: MsgWelcome, Rank: 0, Welcome: sampleWelcome()})
+	nanParams := frame(ProtocolVersion, MsgParams, func() []byte {
+		b := binary.LittleEndian.AppendUint32(nil, 1)
+		return binary.LittleEndian.AppendUint64(b, math.Float64bits(math.NaN()))
+	}())
+	hugeLen := frame(ProtocolVersion, MsgGet, nil)
+	binary.LittleEndian.PutUint32(hugeLen[6:], maxFramePayload+1)
+
+	cases := []struct {
+		name string
+		data []byte
+		want string // substring of the expected error
+	}{
+		{"empty", nil, "EOF"},
+		{"truncated header", frame(ProtocolVersion, MsgTask, nil)[:7], "EOF"},
+		{"bad magic", append([]byte("FITS"), frame(ProtocolVersion, MsgTask, nil)[4:]...), "bad magic"},
+		{"bad version", frame(99, MsgTask, make([]byte, 8)), "version"},
+		{"unknown type", frame(ProtocolVersion, 0, nil), "unknown message type"},
+		{"type past end", frame(ProtocolVersion, byte(msgTypeEnd), nil), "unknown message type"},
+		{"oversized length", hugeLen, "exceeds"},
+		{"truncated body", encoded(t, &Message{Type: MsgTask, Task: 5})[:12], "EOF"},
+		{"short payload", frame(ProtocolVersion, MsgTask, make([]byte, 4)), "truncated frame payload"},
+		{"trailing bytes", frame(ProtocolVersion, MsgTask, make([]byte, 16)), "trailing bytes"},
+		{"NaN params", nanParams, "non-finite"},
+		{"welcome rank out of range", func() []byte {
+			b := append([]byte(nil), validWelcome...)
+			binary.LittleEndian.PutUint32(b[10:], 77) // rank 77 of 4 workers
+			return b
+		}(), "rank"},
+		{"welcome zero width", func() []byte {
+			b := append([]byte(nil), validWelcome...)
+			binary.LittleEndian.PutUint32(b[18:], 0) // width field
+			return b
+		}(), "width"},
+		{"get zero indices", frame(ProtocolVersion, MsgGet,
+			binary.LittleEndian.AppendUint32(nil, 0)), "indices"},
+		{"get absurd count", frame(ProtocolVersion, MsgGet,
+			binary.LittleEndian.AppendUint32(nil, maxBatchElems+1)), "indices"},
+		{"put values not multiple", frame(ProtocolVersion, MsgPut, func() []byte {
+			b := binary.LittleEndian.AppendUint32(nil, 2)
+			b = binary.LittleEndian.AppendUint32(b, 3)
+			return b
+		}()), "multiple"},
+		{"shutdown bad reason", frame(ProtocolVersion, MsgShutdown, []byte{9}), "reason"},
+		{"snapshot req bad selector", frame(ProtocolVersion, MsgSnapshotReq, []byte{9}), "selector"},
+		{"error text too long", frame(ProtocolVersion, MsgError,
+			binary.LittleEndian.AppendUint32(nil, maxErrorText+1)), "cap"},
+		{"snapshot absurd geometry", frame(ProtocolVersion, MsgSnapshot, func() []byte {
+			b := []byte{SnapCur}
+			b = binary.LittleEndian.AppendUint64(b, 1<<40) // n
+			b = binary.LittleEndian.AppendUint64(b, 44)    // width
+			b = binary.LittleEndian.AppendUint64(b, 1)     // ranks
+			return b
+		}()), "implausible"},
+		{"snapshot overflowing shard count", func() []byte {
+			// Valid geometry but a shard declaring ~2^64 values: the budget
+			// comparison must not wrap.
+			b := []byte{SnapCur}
+			b = binary.LittleEndian.AppendUint64(b, 4) // n
+			b = binary.LittleEndian.AppendUint64(b, 2) // width
+			b = binary.LittleEndian.AppendUint64(b, 1) // ranks
+			b = binary.LittleEndian.AppendUint64(b, 0) // version
+			b = binary.LittleEndian.AppendUint64(b, math.MaxUint64)
+			return frame(ProtocolVersion, MsgSnapshot, b)
+		}(), "exceed"},
+	}
+	for _, tc := range cases {
+		_, err := ReadMessage(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestReadMessageBadVersionIsErrBadVersion: the coordinator relies on the
+// sentinel to tell a version mismatch from line noise.
+func TestReadMessageBadVersion(t *testing.T) {
+	_, err := ReadMessage(bytes.NewReader(frame(7, MsgHello, nil)))
+	if err == nil || !strings.Contains(err.Error(), "version 7") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestWriteMessageRejects: unencodable messages fail loudly rather than
+// producing garbage frames.
+func TestWriteMessageRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Message{Type: MsgWelcome}); err == nil {
+		t.Error("welcome without config accepted")
+	}
+	if err := WriteMessage(&buf, &Message{Type: MsgSnapshot}); err == nil {
+		t.Error("snapshot without payload accepted")
+	}
+	if err := WriteMessage(&buf, &Message{Type: 250}); err == nil {
+		t.Error("unknown type accepted")
+	}
+}
+
+// TestErrorTextTruncated: an oversized error string is clipped, not refused —
+// losing the tail of a diagnostic beats losing the diagnostic.
+func TestErrorTextTruncated(t *testing.T) {
+	long := strings.Repeat("x", maxErrorText+100)
+	b := encoded(t, &Message{Type: MsgError, Text: long})
+	m, err := ReadMessage(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Text) != maxErrorText {
+		t.Fatalf("text came back %d bytes, want clipped to %d", len(m.Text), maxErrorText)
+	}
+}
+
+// TestSnapshotVersionsSurviveTheWire: the PGAS snapshot machinery is
+// versioned, and the wire carries the versions — a remote observer can tell
+// a restored array from the original's successors exactly like a local one.
+func TestSnapshotVersionsSurviveTheWire(t *testing.T) {
+	s := sampleSnapshot()
+	b := encoded(t, &Message{Type: MsgSnapshot, Which: SnapCur, Snap: s})
+	m, err := ReadMessage(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m.Snap.Versions, s.Versions) {
+		t.Errorf("versions %v arrived as %v", s.Versions, m.Snap.Versions)
+	}
+	if _, err := pgas.FromSnapshot(m.Snap); err != nil {
+		t.Errorf("wire snapshot does not restore: %v", err)
+	}
+}

@@ -163,6 +163,58 @@ func (a *Array) Stats() (local, remote, bytes int64) {
 	return a.localOps.Load(), a.remoteOps.Load(), a.bytes.Load()
 }
 
+// Getter is the read side of a rank's view of a global array. The in-memory
+// View implements it over shared memory; internal/net's worker client
+// implements it over TCP against the coordinator's shards, so task code is
+// indifferent to whether the array lives in-process or across the wire.
+type Getter interface {
+	// GetMulti copies the elements at idx into out, packed contiguously
+	// (len(out) == len(idx)*Width).
+	GetMulti(idx []int, out []float64) error
+}
+
+// Putter is the write side of a rank's view of a global array.
+type Putter interface {
+	// PutMulti stores the packed values (len(vals) == len(idx)*Width) into
+	// the elements at idx.
+	PutMulti(idx []int, vals []float64) error
+}
+
+// View is an Array bound to a caller rank: the shared-memory implementation
+// of Getter and Putter. Each batched element access is accounted exactly like
+// the corresponding sequence of Get/Put calls, so the traffic counters do not
+// depend on which access style the runtime uses.
+type View struct {
+	a    *Array
+	rank int
+}
+
+// View binds the array to a caller rank for Getter/Putter-style access.
+func (a *Array) View(rank int) View { return View{a: a, rank: rank} }
+
+// GetMulti implements Getter over the local array. It never fails: an
+// out-of-range index is a programming error and panics like Get.
+func (v View) GetMulti(idx []int, out []float64) error {
+	if len(out) != len(idx)*v.a.width {
+		panic("pgas: GetMulti buffer size mismatch")
+	}
+	for k, i := range idx {
+		v.a.Get(v.rank, i, out[k*v.a.width:(k+1)*v.a.width])
+	}
+	return nil
+}
+
+// PutMulti implements Putter over the local array.
+func (v View) PutMulti(idx []int, vals []float64) error {
+	if len(vals) != len(idx)*v.a.width {
+		panic("pgas: PutMulti buffer size mismatch")
+	}
+	for k, i := range idx {
+		v.a.Put(v.rank, i, vals[k*v.a.width:(k+1)*v.a.width])
+	}
+	return nil
+}
+
 // Snapshot is a point-in-time copy of an Array's contents, the unit the
 // checkpoint format serializes. Shards are captured under their locks, so
 // each shard is internally consistent; Versions records each shard's write
