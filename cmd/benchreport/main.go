@@ -4,9 +4,17 @@
 // BenchmarkHotPath uses — and writes the results to BENCH_elbo.json so every
 // PR leaves a comparable perf record.
 //
+// It is also the perf-regression gate: it exits nonzero when any benchmark's
+// ns/op regresses more than 15% against the pinned seed reference, or when
+// the steady-state allocation budgets (0 allocs/op for the eval and fit
+// kernels, 100 for a joint sweep) are exceeded. CI runs it with
+// -benchtime 1x on every PR: allocation counts are exact even for a single
+// iteration, and the seed-regression margin is far wider than 1x timing
+// noise.
+//
 // Usage:
 //
-//	go run ./cmd/benchreport [-o BENCH_elbo.json] [-benchtime 5]
+//	go run ./cmd/benchreport [-o BENCH_elbo.json] [-benchtime 2s|1x]
 package main
 
 import (
@@ -46,21 +54,37 @@ type report struct {
 	SeedReference map[string]entry `json:"seed_reference"`
 }
 
-// seedReference: see report.SeedReference.
+// seedReference: see report.SeedReference. The vi_fit visits_per_sec is
+// back-filled from the fixture's fixed workload: a full fit visits 137,500
+// active pixels (invariant across PRs until culling changes the fixture),
+// so the seed rate is 137500 / 1.01801081 s.
 var seedReference = map[string]entry{
 	"elbo_eval": {NsPerOp: 54713155, AllocsPerOp: 3689, BytesPerOp: 7546332, VisitsPerSec: 56802},
-	"vi_fit":    {NsPerOp: 1018010810, AllocsPerOp: 74491, BytesPerOp: 151363660},
+	"vi_fit":    {NsPerOp: 1018010810, AllocsPerOp: 74491, BytesPerOp: 151363660, VisitsPerSec: 135067},
+}
+
+// maxRegression is the gate: ns/op more than this factor above the seed
+// reference fails the run.
+const maxRegression = 1.15
+
+// allocBudget is the steady-state allocs/op gate per benchmark.
+var allocBudget = map[string]int64{
+	"elbo_eval":      0,
+	"elbo_evalvalue": 0,
+	"vi_fit":         0,
+	"core_process":   100,
 }
 
 func main() {
 	testing.Init() // register test.* flags so test.benchtime resolves
 	out := flag.String("o", "BENCH_elbo.json", "output path")
-	benchtime := flag.Float64("benchtime", 2, "target seconds per benchmark")
+	benchtime := flag.String("benchtime", "2s", "benchmark duration (go test -benchtime syntax, e.g. 2s or 1x)")
 	flag.Parse()
 
 	// testing.Benchmark honors -test.benchtime; set it explicitly so the
-	// harness runs long enough for stable numbers.
-	if err := flag.Lookup("test.benchtime").Value.Set(fmt.Sprintf("%gs", *benchtime)); err != nil {
+	// harness runs long enough for stable numbers (or exactly once for the
+	// CI smoke gate).
+	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
 		fmt.Fprintln(os.Stderr, "benchreport:", err)
 		os.Exit(1)
 	}
@@ -119,4 +143,32 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	// Gates, checked after the report is written so a failing run still
+	// leaves the numbers behind for inspection. Allocation budgets are
+	// gated on AllocsPerRun measurements (exact in steady state) rather
+	// than the benchmark-attributed counts, which pick up background
+	// runtime allocations at -benchtime 1x.
+	failed := false
+	for name, allocs := range benchfix.AllocGates() {
+		if budget, ok := allocBudget[name]; ok && int64(allocs) > budget {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL %s: %.0f steady-state allocs/op exceeds budget %d\n",
+				name, allocs, budget)
+			failed = true
+		}
+	}
+	for name, e := range rep.Benchmarks {
+		seed, ok := rep.SeedReference[name]
+		if !ok || seed.NsPerOp <= 0 {
+			continue
+		}
+		if e.NsPerOp > seed.NsPerOp*maxRegression {
+			fmt.Fprintf(os.Stderr, "benchreport: FAIL %s: %.0f ns/op regresses >%.0f%% vs seed reference %.0f ns/op\n",
+				name, e.NsPerOp, 100*(maxRegression-1), seed.NsPerOp)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

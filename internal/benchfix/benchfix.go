@@ -147,9 +147,43 @@ func BenchViFit(b *testing.B) int64 {
 	return visits
 }
 
-// BenchCoreProcess measures a joint Cyclades sweep over the fixed region.
+// AllocGates measures steady-state allocations per operation for each hot
+// path with testing.AllocsPerRun on warm scratches — the robust counterpart
+// to the benchmark-reported allocs/op, which at -benchtime 1x can be
+// polluted by background runtime allocations attributed to the single
+// measured iteration. cmd/benchreport gates on these numbers.
+func AllocGates() map[string]float64 {
+	out := map[string]float64{}
+
+	pb, init := SingleSourceScene(11)
+	es := elbo.NewScratch()
+	pb.EvalInto(&init, es)
+	out["elbo_eval"] = testing.AllocsPerRun(5, func() { pb.EvalInto(&init, es) })
+	pb.EvalValueWith(&init, es)
+	out["elbo_evalvalue"] = testing.AllocsPerRun(5, func() { pb.EvalValueWith(&init, es) })
+
+	vs := vi.NewScratch()
+	opts := vi.Options{MaxIter: 25, GradTol: 1e-4}
+	vi.FitWith(pb, init, opts, vs)
+	out["vi_fit"] = testing.AllocsPerRun(2, func() { vi.FitWith(pb, init, opts, vs) })
+
+	rg, cfg, rinit := SmallRegion(21)
+	copy(rg.Params, rinit)
+	cfg.Process(rg)
+	out["core_process"] = testing.AllocsPerRun(2, func() {
+		copy(rg.Params, rinit)
+		cfg.Process(rg)
+	})
+	return out
+}
+
+// BenchCoreProcess measures a joint Cyclades sweep over the fixed region,
+// warming the worker-scratch pools first so the recorded allocs/op reflect
+// the steady state a long-running task sweep sees.
 func BenchCoreProcess(b *testing.B) int64 {
 	rg, cfg, init := SmallRegion(21)
+	copy(rg.Params, init)
+	cfg.Process(rg)
 	var visits int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	"celeste/internal/benchfix"
+	"celeste/internal/core"
+	"celeste/internal/geom"
+	"celeste/internal/model"
+	"celeste/internal/partition"
+	"celeste/internal/pgas"
+	"celeste/internal/survey"
+	"celeste/internal/vi"
+)
+
+// TestProcessSteadyStateAllocs pins the joint-sweep allocation budget: once
+// the worker, process, and task scratch pools are warm, a full Cyclades
+// sweep over a region — conflict graph build, batch planning, and every
+// per-source problem build, neighbor fold, and Newton fit — stays within a
+// small fixed allocation budget (goroutine spawns and the RNG are the only
+// remaining per-call allocations). At PR 3 this was 11,627 allocs and
+// 22.7 MB per sweep.
+func TestProcessSteadyStateAllocs(t *testing.T) {
+	rg, cfg, init := benchfix.SmallRegion(21)
+	copy(rg.Params, init)
+	cfg.Process(rg) // warm the pools
+
+	allocs := testing.AllocsPerRun(5, func() {
+		copy(rg.Params, init)
+		cfg.Process(rg)
+	})
+	if allocs > 100 {
+		t.Errorf("Process allocates %v objects per sweep in steady state, want <= 100", allocs)
+	}
+}
+
+// TestExecTaskSteadyStateAllocs extends the gate to a full task execution:
+// batched PGAS read, region assembly, joint sweep, batched write.
+func TestExecTaskSteadyStateAllocs(t *testing.T) {
+	scfg := survey.DefaultConfig(13)
+	scfg.Region = geom.NewBox(0, 0, 0.016, 0.016)
+	scfg.DeepRegion = geom.Box{}
+	scfg.DeepRuns = 0
+	scfg.Runs = 1
+	scfg.FieldW, scfg.FieldH = 96, 96
+	scfg.SourceDensity = 25000
+	scfg.Priors.R1Mean = [model.NumTypes]float64{math.Log(8), math.Log(10)}
+	scfg.Priors.R1SD = [model.NumTypes]float64{0.5, 0.5}
+	sv := survey.Generate(scfg)
+
+	catalog := sv.NoisyCatalog(7)
+	if len(catalog) < 2 {
+		t.Skip("too few sources drawn")
+	}
+	priors := model.FitPriors(catalog)
+	tasks := partition.Generate(catalog, sv.Config.Region, partition.Options{TargetWork: 1e12})
+	if len(tasks) == 0 {
+		t.Fatal("no tasks generated")
+	}
+	task := &tasks[0]
+
+	arr := pgas.New(len(catalog), model.ParamDim, 1)
+	for i := range catalog {
+		p := model.InitialParams(&catalog[i])
+		arr.Put(0, i, p[:])
+	}
+	cfg := core.Config{Threads: 2, Rounds: 1, Seed: 5, Fit: vi.Options{MaxIter: 4, GradTol: 1e-3}}
+	view := arr.View(0)
+	if _, err := cfg.ExecTask(sv, catalog, &priors, task, view, view); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := cfg.ExecTask(sv, catalog, &priors, task, view, view); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The budget covers goroutine spawns, the per-call RNG, and PGAS view
+	// bookkeeping; the per-source problem/fit machinery must stay pooled.
+	if allocs > 150 {
+		t.Errorf("ExecTask allocates %v objects per task in steady state, want <= 150", allocs)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"celeste/internal/partition"
 	"celeste/internal/pgas"
 	"celeste/internal/rng"
+	"celeste/internal/sliceutil"
 	"celeste/internal/survey"
 	"celeste/internal/vi"
 )
@@ -97,6 +98,60 @@ type Region struct {
 	PixScale float64
 }
 
+// workerScratch owns everything one sweep thread needs: the fit scratch
+// (ELBO buffers, AD arenas, trust-region workspace, row-sweep lanes), the
+// pooled problem builder (patch storage and neighbor-fold buffers), and the
+// neighbor-dedup bitmap. Pooled across Process calls so a steady-state
+// sweep performs no per-fit heap allocations.
+type workerScratch struct {
+	fit  *vi.Scratch
+	pbld elbo.Builder
+	nbrs []int
+	seen []bool
+}
+
+// freeList is a mutex-guarded scratch pool. Unlike sync.Pool it is immune
+// to GC clearing: a garbage collection mid-sweep must not discard the warm
+// AD arenas and lane slabs and force a multi-thousand-allocation rebuild.
+// Retention is bounded by the high-water mark of concurrent users (ranks x
+// threads), which is exactly the working set a long-running worker needs.
+type freeList[T any] struct {
+	mu    sync.Mutex
+	free  []*T
+	newFn func() *T
+}
+
+func (p *freeList[T]) get() *T {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		x := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return x
+	}
+	p.mu.Unlock()
+	return p.newFn()
+}
+
+func (p *freeList[T]) put(x *T) {
+	p.mu.Lock()
+	p.free = append(p.free, x)
+	p.mu.Unlock()
+}
+
+var workerPool = freeList[workerScratch]{newFn: func() *workerScratch { return &workerScratch{fit: vi.NewScratch()} }}
+
+// processScratch owns the per-Process-call planning buffers.
+type processScratch struct {
+	pos     []geom.Pt2
+	radii   []float64
+	graph   cyclades.Graph
+	planner cyclades.Planner
+	workers []*workerScratch
+}
+
+var processPool = freeList[processScratch]{newFn: func() *processScratch { return new(processScratch) }}
+
 // Process jointly optimizes the region's sources: Cyclades-planned batches
 // of conflict-free components, each component's sources fitted serially by
 // one thread with all overlapping light subtracted. Returns work statistics.
@@ -108,15 +163,22 @@ func (cfg Config) Process(rg *Region) Stats {
 		return stats
 	}
 
+	ps := processPool.get()
+	defer processPool.put(ps)
+
 	// Conflict graph over the region's sources.
-	pos := make([]geom.Pt2, n)
-	radii := make([]float64, n)
+	if cap(ps.pos) < n {
+		ps.pos = make([]geom.Pt2, n)
+		ps.radii = make([]float64, n)
+	}
+	pos, radii := ps.pos[:n], ps.radii[:n]
 	for i := range rg.Sources {
 		c := rg.Params[i].Constrained()
 		pos[i] = c.Pos
 		radii[i] = InfluenceRadiusPx(rg.Entries[i], rg.PixScale) * rg.PixScale
 	}
-	graph := cyclades.BuildConflictGraph(pos, radii)
+	ps.planner.BuildConflictGraph(&ps.graph, pos, radii)
+	graph := &ps.graph
 	r := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
 
 	batchSize := int(cfg.BatchFrac * float64(n))
@@ -124,34 +186,43 @@ func (cfg Config) Process(rg *Region) Stats {
 		batchSize = 1
 	}
 
-	// Each worker thread owns one fit scratch for the whole sweep: every
-	// source it fits reuses the same ELBO buffers, AD arenas, and
+	// Each worker thread owns one scratch for the whole sweep: every source
+	// it fits reuses the same problem builder, ELBO buffers, AD arenas, and
 	// trust-region workspace, so the steady-state inner loop never touches
 	// the heap (Section VI-B budgets the per-source Newton fit as the unit
 	// of work; the scratch is what keeps that unit allocation-free).
-	scratches := make([]*vi.Scratch, cfg.Threads)
-	for t := range scratches {
-		scratches[t] = vi.NewScratch()
+	if cap(ps.workers) < cfg.Threads {
+		ps.workers = make([]*workerScratch, cfg.Threads)
 	}
+	workers := ps.workers[:cfg.Threads]
+	for t := range workers {
+		workers[t] = workerPool.get()
+	}
+	defer func() {
+		for t := range workers {
+			workerPool.put(workers[t])
+			workers[t] = nil
+		}
+	}()
 
 	for round := 0; round < cfg.Rounds; round++ {
-		batches := cyclades.Plan(graph, r, batchSize)
+		batches := ps.planner.Plan(graph, r, batchSize)
 		for bi := range batches {
-			queues := cyclades.Assign(&batches[bi], cfg.Threads)
+			queues := ps.planner.Assign(&batches[bi], cfg.Threads)
 			var wg sync.WaitGroup
 			for t := 0; t < cfg.Threads; t++ {
 				if len(queues[t]) == 0 {
 					continue
 				}
 				wg.Add(1)
-				go func(comps [][]int, sc *vi.Scratch) {
+				go func(comps [][]int, ws *workerScratch) {
 					defer wg.Done()
 					for _, comp := range comps {
 						for _, li := range comp {
-							cfg.fitOne(rg, graph, li, &stats, sc)
+							cfg.fitOne(rg, graph, li, &stats, ws)
 						}
 					}
-				}(queues[t], scratches[t])
+				}(queues[t], workers[t])
 			}
 			wg.Wait()
 		}
@@ -161,41 +232,48 @@ func (cfg Config) Process(rg *Region) Stats {
 
 // fitOne fits local source li with its conflict-graph neighbors (current
 // values) and the external fixed neighbors folded into the background,
-// reusing the worker's scratch buffers for the fit itself.
-func (cfg Config) fitOne(rg *Region, graph *cyclades.Graph, li int, stats *Stats, sc *vi.Scratch) {
+// reusing the worker's scratch buffers for problem construction and the fit
+// itself.
+func (cfg Config) fitOne(rg *Region, graph *cyclades.Graph, li int, stats *Stats, ws *workerScratch) {
 	cur := rg.Params[li].Constrained()
 	radiusPx := InfluenceRadiusPx(rg.Entries[li], rg.PixScale)
-	pb := elbo.NewProblem(rg.Priors, rg.Images, cur.Pos, radiusPx)
+	pb := ws.pbld.Build(rg.Priors, rg.Images, cur.Pos, radiusPx)
 	if len(pb.Patches) == 0 {
 		return
 	}
 	// Internal neighbors: sources whose influence overlaps (graph edges).
-	for _, nb := range neighborsOf(graph, li) {
+	for _, nb := range ws.neighborsOf(graph, li, len(rg.Sources)) {
 		nc := rg.Params[nb].Constrained()
-		pb.AddNeighbor(&nc)
+		ws.pbld.AddNeighbor(&nc)
 	}
 	for i := range rg.Neighbors {
-		pb.AddNeighbor(&rg.Neighbors[i])
+		ws.pbld.AddNeighbor(&rg.Neighbors[i])
 	}
-	res := vi.FitWith(pb, rg.Params[li], cfg.Fit, sc)
+	res := vi.FitWith(pb, rg.Params[li], cfg.Fit, ws.fit)
 	rg.Params[li] = res.Params
 	atomic.AddInt64(&stats.Fits, 1)
 	atomic.AddInt64(&stats.NewtonIters, int64(res.Iters))
 	atomic.AddInt64(&stats.Visits, res.Visits)
 }
 
-// neighborsOf lists the conflict-graph neighbors of v.
-func neighborsOf(g *cyclades.Graph, v int) []int {
-	var out []int
-	seen := map[int]bool{}
-	// Graph has no adjacency accessor beyond Degree; walk via closure below.
-	g.VisitNeighbors(v, func(w int) {
+// neighborsOf lists the conflict-graph neighbors of v (deduplicated,
+// first-seen order) into the worker's pooled buffers.
+func (ws *workerScratch) neighborsOf(g *cyclades.Graph, v, n int) []int {
+	ws.nbrs = ws.nbrs[:0]
+	if cap(ws.seen) < n {
+		ws.seen = make([]bool, n)
+	}
+	seen := ws.seen[:n]
+	for _, w := range g.Adj(v) {
 		if !seen[w] {
 			seen[w] = true
-			out = append(out, w)
+			ws.nbrs = append(ws.nbrs, w)
 		}
-	})
-	return out
+	}
+	for _, w := range ws.nbrs {
+		seen[w] = false
+	}
+	return ws.nbrs
 }
 
 // RunResult is the outcome of a full distributed run.
@@ -643,6 +721,20 @@ func (cfg Config) processTask(sv *survey.Survey, catalog []model.CatalogEntry,
 	return stats
 }
 
+// taskScratch owns the per-task buffers ExecTask needs — the read index and
+// parameter staging buffers, the in-region bitmap, and the Region itself —
+// pooled so a worker executing task after task allocates nothing in steady
+// state.
+type taskScratch struct {
+	readIdx   []int
+	buf, wbuf []float64
+	inRegion  []bool
+	images    []*survey.Image
+	rg        Region
+}
+
+var taskPool = freeList[taskScratch]{newFn: func() *taskScratch { return new(taskScratch) }}
+
 // ExecTask executes one region task as a pure function of the frozen stage
 // input: every parameter it consumes is read through `in` (the stage-input
 // array) and every result is written through `out` (the live array). Both
@@ -658,6 +750,20 @@ func (cfg Config) ExecTask(sv *survey.Survey, catalog []model.CatalogEntry,
 	if len(task.Sources) == 0 {
 		return Stats{}, nil
 	}
+	ts := taskPool.get()
+	defer func() {
+		// Drop object references so a pooled scratch does not pin the
+		// previous run's catalog and images beyond the task.
+		for i := range ts.rg.Entries {
+			ts.rg.Entries[i] = nil
+		}
+		for i := range ts.images {
+			ts.images[i] = nil
+		}
+		ts.rg.Images = nil
+		ts.rg.Priors = nil
+		taskPool.put(ts)
+	}()
 	pixScale := sv.Config.PixScale
 	// Determine the images and the fixed neighbors: sources outside the
 	// region whose influence reaches inside. Neighbor selection depends only
@@ -665,19 +771,31 @@ func (cfg Config) ExecTask(sv *survey.Survey, catalog []model.CatalogEntry,
 	// known before any parameter is fetched — one batched read per task.
 	margin := 35 * pixScale
 	imgBox := task.Box.Expand(margin)
-	images := sv.ImagesInBox(imgBox)
+	ts.images = sv.ImagesInBoxInto(ts.images[:0], imgBox)
 
-	inRegion := make(map[int]bool, len(task.Sources))
+	if cap(ts.inRegion) < len(catalog) {
+		ts.inRegion = make([]bool, len(catalog))
+	}
+	inRegion := ts.inRegion[:len(catalog)]
 	for _, s := range task.Sources {
 		inRegion[s] = true
 	}
+	defer func() {
+		for _, s := range task.Sources {
+			inRegion[s] = false
+		}
+	}()
 
-	rg := &Region{
-		Priors:   priors,
-		Images:   images,
-		PixScale: pixScale,
-	}
-	readIdx := append([]int(nil), task.Sources...)
+	rg := &ts.rg
+	rg.Priors = priors
+	rg.Images = ts.images
+	rg.PixScale = pixScale
+	rg.Sources = rg.Sources[:0]
+	rg.Entries = rg.Entries[:0]
+	rg.Params = rg.Params[:0]
+	rg.Neighbors = rg.Neighbors[:0]
+
+	ts.readIdx = append(ts.readIdx[:0], task.Sources...)
 	for i := range catalog {
 		if inRegion[i] {
 			continue
@@ -687,9 +805,11 @@ func (cfg Config) ExecTask(sv *survey.Survey, catalog []model.CatalogEntry,
 		if !task.Box.Expand(reach).Contains(e.Pos) {
 			continue
 		}
-		readIdx = append(readIdx, i)
+		ts.readIdx = append(ts.readIdx, i)
 	}
-	buf := make([]float64, len(readIdx)*model.ParamDim)
+	readIdx := ts.readIdx
+	ts.buf = sliceutil.Grow(ts.buf, len(readIdx)*model.ParamDim)
+	buf := ts.buf
 	if err := in.GetMulti(readIdx, buf); err != nil {
 		return Stats{}, err
 	}
@@ -709,7 +829,8 @@ func (cfg Config) ExecTask(sv *survey.Survey, catalog []model.CatalogEntry,
 	s.Seed = cfg.Seed + uint64(task.ID)*0x9e3779b9
 	stats := s.Process(rg)
 
-	wbuf := make([]float64, len(rg.Sources)*model.ParamDim)
+	ts.wbuf = sliceutil.Grow(ts.wbuf, len(rg.Sources)*model.ParamDim)
+	wbuf := ts.wbuf
 	for li := range rg.Sources {
 		copy(wbuf[li*model.ParamDim:(li+1)*model.ParamDim], rg.Params[li][:])
 	}

@@ -49,45 +49,12 @@ func (g *Graph) VisitNeighbors(v int, fn func(w int)) {
 
 // BuildConflictGraph constructs the conflict graph for light sources:
 // sources conflict when closer than the sum of their influence radii
-// (their light reaches common pixels). radii are in degrees.
+// (their light reaches common pixels). radii are in degrees. Hot paths that
+// rebuild graphs per sweep should hold a Planner and use its
+// BuildConflictGraph, which reuses all storage.
 func BuildConflictGraph(pos []geom.Pt2, radii []float64) *Graph {
-	n := len(pos)
-	g := NewGraph(n)
-	// Simple spatial hashing on a grid sized by the maximum radius keeps
-	// this O(n · neighbors) instead of O(n²).
-	var maxR float64
-	for _, r := range radii {
-		if r > maxR {
-			maxR = r
-		}
-	}
-	if maxR <= 0 || n == 0 {
-		return g
-	}
-	cell := 2 * maxR
-	type key struct{ x, y int }
-	grid := make(map[key][]int)
-	idx := func(p geom.Pt2) key {
-		return key{int(p.RA / cell), int(p.Dec / cell)}
-	}
-	for i, p := range pos {
-		grid[idx(p)] = append(grid[idx(p)], i)
-	}
-	for i, p := range pos {
-		k := idx(p)
-		for dx := -1; dx <= 1; dx++ {
-			for dy := -1; dy <= 1; dy++ {
-				for _, j := range grid[key{k.x + dx, k.y + dy}] {
-					if j <= i {
-						continue
-					}
-					if geom.Dist(p, pos[j]) < radii[i]+radii[j] {
-						g.AddEdge(i, j)
-					}
-				}
-			}
-		}
-	}
+	g := NewGraph(len(pos))
+	new(Planner).BuildConflictGraph(g, pos, radii)
 	return g
 }
 
@@ -110,114 +77,15 @@ func (b *Batch) Size() int {
 // Plan samples all n vertices without replacement in rounds of batchSize and
 // splits each round's sample into connected components of the induced
 // subgraph. Every vertex appears in exactly one component across all
-// batches. batchSize <= 0 means one single batch of everything.
+// batches. batchSize <= 0 means one single batch of everything. Hot paths
+// should hold a Planner and use its Plan, which reuses all storage.
 func Plan(g *Graph, r *rng.Source, batchSize int) []Batch {
-	n := g.n
-	if batchSize <= 0 || batchSize > n {
-		batchSize = n
-	}
-	perm := r.Perm(n)
-	var batches []Batch
-	inSample := make([]int, n) // round index + 1, 0 = not sampled
-	for start := 0; start < n; start += batchSize {
-		end := start + batchSize
-		if end > n {
-			end = n
-		}
-		sample := perm[start:end]
-		round := start/batchSize + 1
-		for _, v := range sample {
-			inSample[v] = round
-		}
-		// Union-find over the sampled vertices.
-		uf := newUnionFind(len(sample))
-		local := make(map[int]int, len(sample))
-		for li, v := range sample {
-			local[v] = li
-		}
-		for li, v := range sample {
-			for _, w := range g.adj[v] {
-				if inSample[w] == round {
-					uf.union(li, local[w])
-				}
-			}
-		}
-		comps := make(map[int][]int)
-		for li, v := range sample {
-			root := uf.find(li)
-			comps[root] = append(comps[root], v)
-		}
-		var batch Batch
-		for _, c := range comps {
-			batch.Components = append(batch.Components, c)
-		}
-		batches = append(batches, batch)
-	}
-	return batches
+	return new(Planner).Plan(g, r, batchSize)
 }
 
 // Assign distributes a batch's components over nThreads queues, longest
 // component first (LPT scheduling), so thread loads stay balanced even when
 // one component is large.
 func Assign(b *Batch, nThreads int) [][][]int {
-	queues := make([][][]int, nThreads)
-	loads := make([]int, nThreads)
-	// Sort components by descending size (insertion sort; counts are small).
-	comps := append([][]int(nil), b.Components...)
-	for i := 1; i < len(comps); i++ {
-		c := comps[i]
-		j := i - 1
-		for j >= 0 && len(comps[j]) < len(c) {
-			comps[j+1] = comps[j]
-			j--
-		}
-		comps[j+1] = c
-	}
-	for _, c := range comps {
-		// Least-loaded thread.
-		best := 0
-		for t := 1; t < nThreads; t++ {
-			if loads[t] < loads[best] {
-				best = t
-			}
-		}
-		queues[best] = append(queues[best], c)
-		loads[best] += len(c)
-	}
-	return queues
-}
-
-type unionFind struct {
-	parent []int
-	rank   []int
-}
-
-func newUnionFind(n int) *unionFind {
-	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
-	for i := range uf.parent {
-		uf.parent[i] = i
-	}
-	return uf
-}
-
-func (uf *unionFind) find(x int) int {
-	for uf.parent[x] != x {
-		uf.parent[x] = uf.parent[uf.parent[x]]
-		x = uf.parent[x]
-	}
-	return x
-}
-
-func (uf *unionFind) union(a, b int) {
-	ra, rb := uf.find(a), uf.find(b)
-	if ra == rb {
-		return
-	}
-	if uf.rank[ra] < uf.rank[rb] {
-		ra, rb = rb, ra
-	}
-	uf.parent[rb] = ra
-	if uf.rank[ra] == uf.rank[rb] {
-		uf.rank[ra]++
-	}
+	return new(Planner).Assign(b, nThreads)
 }

@@ -6,8 +6,10 @@ import (
 	"celeste/internal/dual"
 	"celeste/internal/geom"
 	"celeste/internal/linalg"
+	"celeste/internal/mathx"
 	"celeste/internal/model"
 	"celeste/internal/mog"
+	"celeste/internal/sliceutil"
 )
 
 // Result is a full objective evaluation: value, gradient, Hessian, and the
@@ -25,6 +27,97 @@ type Result struct {
 // the KL term.
 const activeDim = 6 + brightDim
 
+// maxProfVar is the largest radial-profile component variance (in units of
+// the squared half-light radius), used by the conservative active-pixel
+// bound.
+var maxProfVar = func() float64 {
+	var m float64
+	for _, pc := range expProf {
+		if pc.Var > m {
+			m = pc.Var
+		}
+	}
+	for _, pc := range devProf {
+		if pc.Var > m {
+			m = pc.Var
+		}
+	}
+	return m
+}()
+
+// cullRadiusPx returns the patch's active-pixel radius for the current
+// parameters: beyond it, every star and galaxy component's exponent exceeds
+// the qCutoff truncation, so both spatial densities are identically zero and
+// a pixel contributes only its analytic background term. The bound is the
+// trace bound on the largest component covariance (valid for both the dual
+// and the compiled value components, clamped or not — clamping only widens
+// the shape covariance) times mog.CullSigma, plus the largest PSF mean
+// offset and a margin absorbing floating-point rounding. Both the derivative
+// and the value path derive their culling rectangle from this one scalar
+// computation, so their visit counts agree exactly.
+func cullRadiusPx(theta *model.Params, p *Patch) float64 {
+	ab := clampAB(mathx.Logistic(theta[model.ParamGalABLogit]))
+	sigma := clampScale(math.Exp(theta[model.ParamGalLogScale]))
+	w11, w12, w22 := mog.GalaxyCov(ab, theta[model.ParamGalAngle], sigma)
+	jac := model.JacFromWCS(p.WCS)
+	p11, _, p22 := jac.Apply(w11, w12, w22)
+	galTr := maxProfVar * (p11 + p22)
+	if !(galTr >= 0) {
+		galTr = 0
+	}
+	var maxVar, maxOff float64
+	for _, pk := range p.PSF {
+		if v := pk.Sxx + pk.Syy + galTr; v > maxVar {
+			maxVar = v
+		}
+		if off := math.Hypot(pk.MuX, pk.MuY); off > maxOff {
+			maxOff = off
+		}
+	}
+	r := mog.CullSigma*math.Sqrt(maxVar) + maxOff
+	return r + 1e-6*(1+r)
+}
+
+// cullRect clips rect to the pixels within radius r (in each axis) of the
+// source center. The returned rectangle may be empty (x0 >= x1 or y0 >= y1).
+func cullRect(rect geom.PixRect, srcX, srcY, r float64) (x0, y0, x1, y1 int) {
+	x0, y0, x1, y1 = rect.X0, rect.Y0, rect.X1, rect.Y1
+	if v := int(math.Ceil(srcX - r)); v > x0 {
+		x0 = v
+	}
+	if v := int(math.Floor(srcX+r)) + 1; v < x1 {
+		x1 = v
+	}
+	if v := int(math.Ceil(srcY - r)); v > y0 {
+		y0 = v
+	}
+	if v := int(math.Floor(srcY+r)) + 1; v < y1 {
+		y1 = v
+	}
+	return
+}
+
+// patchMoments accumulates the pixel sums that let the brightness-direction
+// Hessian blocks be assembled once per patch instead of once per pixel: the
+// per-pixel brightness gradients factor as (patch constant) x (pixel
+// scalar), so summing the pixel scalars first turns O(pixels x 28^2) work
+// into O(pixels x ~30) plus an O(28^2) per-patch assembly.
+type patchMoments struct {
+	// Scalar moments: sums of p-coefficients times powers of the star (s)
+	// and galaxy (g) density values.
+	p1s, p1g, p2ss, p2gg          float64
+	p11ss, p11sg, p11gg           float64
+	p12sss, p12sgg, p12gss, p12gg float64
+
+	// Vector moments over the six spatial coordinates: sums of
+	// p-coefficients times density powers times spatial gradients. Entries
+	// 2..5 of the star-gradient vectors stay zero (PSF components carry no
+	// shape derivatives).
+	a1, a2, b1, b2         [6]float64
+	c11, c12, c21, c22     [6]float64
+	e1, e2, e3, e4, e5, e6 [6]float64
+}
+
 // Eval computes the ELBO restricted to this source's block: the sum of
 // per-pixel delta-method Poisson terms minus the KL from the priors, with
 // exact gradient and Hessian. It allocates a fresh Scratch per call, so the
@@ -37,21 +130,36 @@ func (pb *Problem) Eval(theta *model.Params) *Result {
 // EvalInto is Eval evaluating into s's buffers. The returned Result (and its
 // gradient and Hessian) is owned by s and valid until the next EvalInto with
 // the same scratch; steady-state calls perform zero heap allocations.
+//
+// The pixel loop is the row-sweep kernel: per patch, the active rectangle is
+// first clipped to the source's culling radius (pixels outside contribute
+// only their background term, accumulated in closed form from per-row prefix
+// sums); each remaining row is evaluated by mog.SweepRow into SoA lanes, and
+// the gradient/Hessian accumulation consumes the lanes in straight-line
+// loops with the brightness blocks folded into per-patch moments.
 func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
+	if useScalarRef {
+		return pb.evalIntoRef(theta, s)
+	}
 	s.reset()
 	res := &s.res
 
 	bm := s.computeBrightMoments(theta)
 
-	// Per-pixel accumulation into the active 28x28 block.
 	var grad [activeDim]float64
 	hess := s.activeHess // lower triangle
 
-	var gm, ge2 [activeDim]float64 // scratch: ∇m, ∇e2 per pixel
-
 	for _, p := range pb.Patches {
-		ev := s.buildEvaluator(theta, p)
 		srcX, srcY := p.WCS.WorldToPix(pbPos(theta))
+		cx0, cy0, cx1, cy1 := cullRect(p.Rect, srcX, srcY, cullRadiusPx(theta, p))
+		res.Value += p.bgOutside(cx0, cy0, cx1, cy1)
+		if cx0 >= cx1 || cy0 >= cy1 {
+			continue
+		}
+		w := cx1 - cx0
+		res.Visits += int64(w) * int64(cy1-cy0)
+
+		ev := s.buildEvaluator(theta, p)
 		iota := p.Iota
 		b := p.Band
 		av, bv, cv, dv := bm.A[b], bm.B[b], bm.C[b], bm.D[b]
@@ -59,23 +167,42 @@ func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
 		aV, bV := iota*av.Val, iota*bv.Val
 		cV, dV := iota*iota*cv.Val, iota*iota*dv.Val
 
-		k := 0
-		for y := p.Rect.Y0; y < p.Rect.Y1; y++ {
-			fy := float64(y)
-			for x := p.Rect.X0; x < p.Rect.X1; x++ {
-				obs := p.Obs[k]
-				bg := p.Bg[k]
-				vbg := p.VBg[k]
-				k++
-				res.Visits++
+		lanes := &s.lanes
+		lanes.Resize(w)
+		s.dxs = sliceutil.Grow(s.dxs, w)
+		dxs := s.dxs[:w]
+		for i := range dxs {
+			dxs[i] = float64(cx0+i) - srcX
+		}
+		sv := lanes.StarV
+		sg0, sg1 := lanes.StarGLane(0), lanes.StarGLane(1)
+		sh0, sh1, sh2 := lanes.StarHLane(0), lanes.StarHLane(1), lanes.StarHLane(2)
+		gvL := lanes.GalV
+		var gGL [dual.N][]float64
+		for k := 0; k < dual.N; k++ {
+			gGL[k] = lanes.GalGLane(k)
+		}
+		var gHL [dual.HessLen][]float64
+		for k := 0; k < dual.HessLen; k++ {
+			gHL[k] = lanes.GalHLane(k)
+		}
 
-				gs := ev.EvalStar(float64(x)-srcX, fy-srcY)
-				gg := ev.EvalGal(float64(x)-srcX, fy-srcY)
-				gs2 := dual.Sqr(gs)
-				gg2 := dual.Sqr(gg)
+		var pm patchMoments
+		rectW := p.Rect.Width()
+		for y := cy0; y < cy1; y++ {
+			ev.SweepRow(lanes, dxs, float64(y)-srcY)
+			base := (y-p.Rect.Y0)*rectW + (cx0 - p.Rect.X0)
+			obsRow := p.Obs[base : base+w]
+			bgRow := p.Bg[base : base+w]
+			vbgRow := p.VBg[base : base+w]
 
-				m := aV*gs.V + bV*gg.V
-				e2 := cV*gs2.V + dV*gg2.V
+			for i := 0; i < w; i++ {
+				obs, bg, vbg := obsRow[i], bgRow[i], vbgRow[i]
+				gs, gg := sv[i], gvL[i]
+				gs2v, gg2v := gs*gs, gg*gg
+
+				m := aV*gs + bV*gg
+				e2 := cV*gs2v + dV*gg2v
 				ef := bg + m
 				vf := vbg + e2 - m*m
 				if ef <= 0 {
@@ -84,7 +211,7 @@ func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
 				}
 
 				// Pixel objective f = obs·(log EF − VF/(2EF²)) − EF and its
-				// partials in (m, e2).
+				// partials in (m, e2); see evalref.go for the derivation.
 				inv := 1 / ef
 				inv2 := inv * inv
 				inv3 := inv2 * inv
@@ -92,66 +219,145 @@ func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
 				res.Value += obs*(math.Log(ef)-vf*inv2/2) - ef
 				p1 := obs*(inv+m*inv2+vf*inv3) - 1
 				p2 := -obs * inv2 / 2
-				// ∂²f/∂m²: differentiate obs·(1/EF + m/EF² + VF/EF³) − 0 in m
-				// with dEF/dm = 1 and dVF/dm = −2m:
-				//   d(1/EF) = −1/EF²;  d(m/EF²) = 1/EF² − 2m/EF³;
-				//   d(VF/EF³) = −2m/EF³ − 3VF/EF⁴.
-				// The 1/EF² terms cancel, leaving −4m/EF³ − 3VF/EF⁴.
 				p11 := obs * (-4*m*inv3 - 3*vf*inv4)
-				p12 := obs * inv3 // ∂²f/∂m∂e2
-				// ∂²f/∂e2² = 0.
+				p12 := obs * inv3
 
-				// ∇m and ∇e2 over the active coordinates.
-				for i := 0; i < 6; i++ {
-					gm[i] = aV*gs.G[i] + bV*gg.G[i]
-					ge2[i] = cV*gs2.G[i] + dV*gg2.G[i]
-				}
-				for l := 0; l < brightDim; l++ {
-					gm[6+l] = iota * (gs.V*av.Grad[l] + gg.V*bv.Grad[l])
-					ge2[6+l] = iota * iota * (gs2.V*cv.Grad[l] + gg2.V*dv.Grad[l])
+				gsG0, gsG1 := sg0[i], sg1[i]
+				var ggG [dual.N]float64
+				for k := 0; k < dual.N; k++ {
+					ggG[k] = gGL[k][i]
 				}
 
-				// Gradient accumulation.
-				for i := 0; i < activeDim; i++ {
-					grad[i] += p1*gm[i] + p2*ge2[i]
+				// Spatial ∇m, ∇e2 (star gradients vanish past coordinate 1).
+				var gmj, ge2j [6]float64
+				gmj[0] = aV*gsG0 + bV*ggG[0]
+				gmj[1] = aV*gsG1 + bV*ggG[1]
+				ge2j[0] = 2 * (cV*gs*gsG0 + dV*gg*ggG[0])
+				ge2j[1] = 2 * (cV*gs*gsG1 + dV*gg*ggG[1])
+				for k := 2; k < 6; k++ {
+					gmj[k] = bV * ggG[k]
+					ge2j[k] = 2 * dV * gg * ggG[k]
+				}
+				for j := 0; j < 6; j++ {
+					grad[j] += p1*gmj[j] + p2*ge2j[j]
 				}
 
-				// Hessian: p1·∇²m + p2·∇²e2 + outer-product terms.
-				// Spatial block (0..5): dual Hessians.
-				for i := 0; i < 6; i++ {
-					row := hess.Data[i*activeDim:]
-					for j := 0; j <= i; j++ {
-						hIdx := dual.Idx(i, j)
-						h2m := aV*gs.H[hIdx] + bV*gg.H[hIdx]
-						h2e := cV*gs2.H[hIdx] + dV*gg2.H[hIdx]
-						row[j] += p1*h2m + p2*h2e +
-							p11*gm[i]*gm[j] + p12*(gm[i]*ge2[j]+gm[j]*ge2[i])
+				// Spatial Hessian block. Position-position (packed 0..2) is
+				// the only block the star components reach.
+				{
+					h2m := aV*sh0[i] + bV*gHL[0][i]
+					h2e := 2 * (cV*(gs*sh0[i]+gsG0*gsG0) + dV*(gg*gHL[0][i]+ggG[0]*ggG[0]))
+					hess.Data[0] += p1*h2m + p2*h2e + p11*gmj[0]*gmj[0] + 2*p12*gmj[0]*ge2j[0]
+
+					h2m = aV*sh1[i] + bV*gHL[1][i]
+					h2e = 2 * (cV*(gs*sh1[i]+gsG0*gsG1) + dV*(gg*gHL[1][i]+ggG[0]*ggG[1]))
+					hess.Data[1*activeDim+0] += p1*h2m + p2*h2e +
+						p11*gmj[1]*gmj[0] + p12*(gmj[1]*ge2j[0]+gmj[0]*ge2j[1])
+
+					h2m = aV*sh2[i] + bV*gHL[2][i]
+					h2e = 2 * (cV*(gs*sh2[i]+gsG1*gsG1) + dV*(gg*gHL[2][i]+ggG[1]*ggG[1]))
+					hess.Data[1*activeDim+1] += p1*h2m + p2*h2e +
+						p11*gmj[1]*gmj[1] + 2*p12*gmj[1]*ge2j[1]
+				}
+				// Shape rows: the star density has no shape derivatives, so
+				// only the galaxy lanes contribute to ∇²m and ∇²e2.
+				for i2 := 2; i2 < 6; i2++ {
+					row := hess.Data[i2*activeDim:]
+					hb := i2 * (i2 + 1) / 2
+					for j2 := 0; j2 <= i2; j2++ {
+						hg := gHL[hb+j2][i]
+						h2m := bV * hg
+						h2e := 2 * dV * (gg*hg + ggG[i2]*ggG[j2])
+						row[j2] += p1*h2m + p2*h2e +
+							p11*gmj[i2]*gmj[j2] + p12*(gmj[i2]*ge2j[j2]+gmj[j2]*ge2j[i2])
 					}
 				}
-				// Cross block (bright x spatial) and bright block.
-				for li := 0; li < brightDim; li++ {
-					i := 6 + li
-					row := hess.Data[i*activeDim:]
-					// Cross: ∂²m/∂bright∂spatial = ∂A/∂b·∂g★/∂s + ...
-					for j := 0; j < 6; j++ {
-						h2m := iota * (av.Grad[li]*gs.G[j] + bv.Grad[li]*gg.G[j])
-						h2e := iota * iota * (cv.Grad[li]*gs2.G[j] + dv.Grad[li]*gg2.G[j])
-						row[j] += p1*h2m + p2*h2e +
-							p11*gm[i]*gm[j] + p12*(gm[i]*ge2[j]+gm[j]*ge2[i])
-					}
-					// Bright block: moments' own Hessians scaled by g values.
-					for lj := 0; lj <= li; lj++ {
-						j := 6 + lj
-						hIdx := li*(li+1)/2 + lj
-						h2m := iota * (gs.V*av.Hess[hIdx] + gg.V*bv.Hess[hIdx])
-						h2e := iota * iota * (gs2.V*cv.Hess[hIdx] + gg2.V*dv.Hess[hIdx])
-						row[j] += p1*h2m + p2*h2e +
-							p11*gm[i]*gm[j] + p12*(gm[i]*ge2[j]+gm[j]*ge2[i])
-					}
+
+				// Brightness-direction moments.
+				p1gs, p1gg := p1*gs, p1*gg
+				p2gs, p2gg := p2*gs, p2*gg
+				p11gs, p11gg := p11*gs, p11*gg
+				p12gs2, p12gsgg, p12gg2 := p12*gs2v, p12*gs*gg, p12*gg2v
+				pm.p1s += p1gs
+				pm.p1g += p1gg
+				pm.p2ss += p2gs * gs
+				pm.p2gg += p2gg * gg
+				pm.p11ss += p11gs * gs
+				pm.p11sg += p11gs * gg
+				pm.p11gg += p11gg * gg
+				pm.p12sss += p12gs2 * gs
+				pm.p12sgg += p12gsgg * gg
+				pm.p12gss += p12gsgg * gs
+				pm.p12gg += p12gg2 * gg
+
+				pm.a1[0] += p1 * gsG0
+				pm.b1[0] += p2gs * gsG0
+				pm.c11[0] += p11gs * gsG0
+				pm.c21[0] += p11gg * gsG0
+				pm.e1[0] += p12gs2 * gsG0
+				pm.e3[0] += p12gsgg * gsG0
+				pm.e5[0] += p12gg2 * gsG0
+				pm.a1[1] += p1 * gsG1
+				pm.b1[1] += p2gs * gsG1
+				pm.c11[1] += p11gs * gsG1
+				pm.c21[1] += p11gg * gsG1
+				pm.e1[1] += p12gs2 * gsG1
+				pm.e3[1] += p12gsgg * gsG1
+				pm.e5[1] += p12gg2 * gsG1
+				for j := 0; j < 6; j++ {
+					g := ggG[j]
+					pm.a2[j] += p1 * g
+					pm.b2[j] += p2gg * g
+					pm.c12[j] += p11gs * g
+					pm.c22[j] += p11gg * g
+					pm.e2[j] += p12gs2 * g
+					pm.e4[j] += p12gsgg * g
+					pm.e6[j] += p12gg2 * g
 				}
 			}
 		}
+
+		// Per-patch assembly of the brightness-direction blocks from the
+		// moments: Σ_px p1·∇²m + p2·∇²e2 + p11·∇m⊗∇m + p12·(∇m⊗∇e2 + ∇e2⊗∇m)
+		// with every patch-constant factor hoisted out of the pixel sums.
+		iota2 := iota * iota
+		iota3 := iota2 * iota
+		for li := 0; li < brightDim; li++ {
+			avG, bvG := av.Grad[li], bv.Grad[li]
+			cvG, dvG := cv.Grad[li], dv.Grad[li]
+			grad[6+li] += iota*(avG*pm.p1s+bvG*pm.p1g) + iota2*(cvG*pm.p2ss+dvG*pm.p2gg)
+			row := hess.Data[(6+li)*activeDim:]
+			for j := 0; j < 6; j++ {
+				row[j] += iota*(avG*pm.a1[j]+bvG*pm.a2[j]) +
+					2*iota2*(cvG*pm.b1[j]+dvG*pm.b2[j]) +
+					iota*(avG*(aV*pm.c11[j]+bV*pm.c12[j])+bvG*(aV*pm.c21[j]+bV*pm.c22[j])) +
+					2*iota*(avG*(cV*pm.e1[j]+dV*pm.e4[j])+bvG*(cV*pm.e3[j]+dV*pm.e6[j])) +
+					iota2*(cvG*(aV*pm.e1[j]+bV*pm.e2[j])+dvG*(aV*pm.e5[j]+bV*pm.e6[j]))
+			}
+			for lj := 0; lj <= li; lj++ {
+				hIdx := li*(li+1)/2 + lj
+				avGj, bvGj := av.Grad[lj], bv.Grad[lj]
+				cvGj, dvGj := cv.Grad[lj], dv.Grad[lj]
+				row[6+lj] += iota*(av.Hess[hIdx]*pm.p1s+bv.Hess[hIdx]*pm.p1g) +
+					iota2*(cv.Hess[hIdx]*pm.p2ss+dv.Hess[hIdx]*pm.p2gg) +
+					iota2*(avG*avGj*pm.p11ss+(avG*bvGj+bvG*avGj)*pm.p11sg+bvG*bvGj*pm.p11gg) +
+					iota3*((avG*cvGj+avGj*cvG)*pm.p12sss+
+						(avG*dvGj+avGj*dvG)*pm.p12sgg+
+						(bvG*cvGj+bvGj*cvG)*pm.p12gss+
+						(bvG*dvGj+bvGj*dvG)*pm.p12gg)
+			}
+		}
 	}
+
+	pb.finishEval(theta, s, &grad)
+	return res
+}
+
+// finishEval scatters the active block into the global result and adds the
+// KL and position-anchor terms; shared by the kernel and reference paths.
+func (pb *Problem) finishEval(theta *model.Params, s *Scratch, grad *[activeDim]float64) {
+	res := &s.res
+	hess := s.activeHess
 
 	// Scatter the active block into the global result.
 	for i := 0; i < activeDim; i++ {
@@ -194,7 +400,6 @@ func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
 		res.Hess.Add(model.ParamRA, model.ParamRA, -pb.PosPenalty)
 		res.Hess.Add(model.ParamDec, model.ParamDec, -pb.PosPenalty)
 	}
-	return res
 }
 
 // EvalValue computes the objective value only (no derivatives), used for
@@ -203,9 +408,14 @@ func (pb *Problem) EvalValue(theta *model.Params) (float64, int64) {
 	return pb.EvalValueWith(theta, NewScratch())
 }
 
-// EvalValueWith is EvalValue using s's buffers for the per-patch galaxy
-// appearance mixture; steady-state calls perform zero heap allocations.
+// EvalValueWith is EvalValue using s's buffers; steady-state calls perform
+// zero heap allocations. Like EvalInto it sweeps rows of the culled active
+// rectangle through the value row kernel, with identical culling geometry so
+// the two paths' visit counts agree.
 func (pb *Problem) EvalValueWith(theta *model.Params, s *Scratch) (float64, int64) {
+	if useScalarRef {
+		return pb.evalValueRef(theta, s)
+	}
 	c := theta.Constrained()
 	m1s, m2s := model.FluxMoments(c.R1[model.Star], c.R2[model.Star], c.C1[model.Star], c.C2[model.Star])
 	m1g, m2g := model.FluxMoments(c.R1[model.Gal], c.R2[model.Gal], c.C1[model.Gal], c.C2[model.Gal])
@@ -214,35 +424,53 @@ func (pb *Problem) EvalValueWith(theta *model.Params, s *Scratch) (float64, int6
 	var value float64
 	var visits int64
 	for _, p := range pb.Patches {
+		px, py := p.WCS.WorldToPix(c.Pos)
+		cx0, cy0, cx1, cy1 := cullRect(p.Rect, px, py, cullRadiusPx(theta, p))
+		value += p.bgOutside(cx0, cy0, cx1, cy1)
+		if cx0 >= cx1 || cy0 >= cy1 {
+			continue
+		}
+		w := cx1 - cx0
+		visits += int64(w) * int64(cy1-cy0)
+
 		// Compile the star and galaxy appearance mixtures once per patch:
-		// per-pixel evaluation is then one quadratic form and at most one
-		// exponential per component, truncated exactly like the derivative
-		// path.
+		// per-row evaluation is then one interval clip per component plus
+		// two multiplies per active pixel.
 		s.starV = mog.CompileInto(s.starV[:0], p.PSF)
 		s.galV = mog.CompileInto(s.galV[:0], s.galaxyMixtureInto(&c, p))
-		px, py := p.WCS.WorldToPix(c.Pos)
 		iota := p.Iota
 		b := p.Band
 		aV := iota * chiS * m1s[b]
 		bV := iota * chiG * m1g[b]
 		cV := iota * iota * chiS * m2s[b]
 		dV := iota * iota * chiG * m2g[b]
-		k := 0
-		for y := p.Rect.Y0; y < p.Rect.Y1; y++ {
-			for x := p.Rect.X0; x < p.Rect.X1; x++ {
-				obs, bg, vbg := p.Obs[k], p.Bg[k], p.VBg[k]
-				k++
-				visits++
-				gs := mog.EvalComps(s.starV, float64(x)-px, float64(y)-py)
-				gg := mog.EvalComps(s.galV, float64(x)-px, float64(y)-py)
+
+		s.dxs = sliceutil.Grow(s.dxs, w)
+		s.rowS = sliceutil.Grow(s.rowS, w)
+		s.rowG = sliceutil.Grow(s.rowG, w)
+		dxs, rowS, rowG := s.dxs[:w], s.rowS[:w], s.rowG[:w]
+		for i := range dxs {
+			dxs[i] = float64(cx0+i) - px
+		}
+		rectW := p.Rect.Width()
+		for y := cy0; y < cy1; y++ {
+			dy := float64(y) - py
+			mog.SweepRowValue(rowS, s.starV, dxs, dy)
+			mog.SweepRowValue(rowG, s.galV, dxs, dy)
+			base := (y-p.Rect.Y0)*rectW + (cx0 - p.Rect.X0)
+			obsRow := p.Obs[base : base+w]
+			bgRow := p.Bg[base : base+w]
+			vbgRow := p.VBg[base : base+w]
+			for i := 0; i < w; i++ {
+				gs, gg := rowS[i], rowG[i]
 				m := aV*gs + bV*gg
 				e2 := cV*gs*gs + dV*gg*gg
-				ef := bg + m
-				vf := vbg + e2 - m*m
+				ef := bgRow[i] + m
+				vf := vbgRow[i] + e2 - m*m
 				if ef <= 0 {
 					continue
 				}
-				value += obs*(math.Log(ef)-vf/(2*ef*ef)) - ef
+				value += obsRow[i]*(math.Log(ef)-vf/(2*ef*ef)) - ef
 			}
 		}
 	}

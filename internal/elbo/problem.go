@@ -25,6 +25,7 @@ import (
 	"celeste/internal/geom"
 	"celeste/internal/model"
 	"celeste/internal/mog"
+	"celeste/internal/sliceutil"
 	"celeste/internal/survey"
 )
 
@@ -43,10 +44,74 @@ type Patch struct {
 	Obs []float64 // observed counts, Rect row-major
 	Bg  []float64 // background expected counts per pixel
 	VBg []float64 // background variance per pixel
+
+	// Background-term prefix sums for active-pixel culling: pixels outside
+	// the source's culling radius contribute only the theta-independent term
+	// obs·(log bg − vbg/(2bg²)) − bg, so each evaluation folds whole culled
+	// rows and row strips in via prefix sums instead of visiting the pixels.
+	// Built lazily on first use; AddNeighbor invalidates (it mutates Bg).
+	bgPref    []float64 // per-row prefixes, Height x (Width+1)
+	bgRowPref []float64 // cumulative full-row sums, Height+1
+	bgPrefOK  bool
 }
 
 // NumPix returns the number of active pixels in the patch.
 func (p *Patch) NumPix() int { return p.Rect.Width() * p.Rect.Height() }
+
+// ensureBgPrefix builds the background-term prefix sums (see the field
+// comment). Pixels with non-positive background contribute zero, mirroring
+// the ef <= 0 guard of the pixel loop.
+func (p *Patch) ensureBgPrefix() {
+	if p.bgPrefOK {
+		return
+	}
+	w, h := p.Rect.Width(), p.Rect.Height()
+	p.bgPref = sliceutil.Grow(p.bgPref, h*(w+1))
+	p.bgRowPref = sliceutil.Grow(p.bgRowPref, h+1)
+	p.bgRowPref[0] = 0
+	k := 0
+	for y := 0; y < h; y++ {
+		row := p.bgPref[y*(w+1) : (y+1)*(w+1)]
+		row[0] = 0
+		for x := 0; x < w; x++ {
+			obs, bg, vbg := p.Obs[k], p.Bg[k], p.VBg[k]
+			k++
+			var t float64
+			if bg > 0 {
+				inv := 1 / bg
+				t = obs*(math.Log(bg)-vbg*inv*inv/2) - bg
+			}
+			row[x+1] = row[x] + t
+		}
+		p.bgRowPref[y+1] = p.bgRowPref[y] + row[w]
+	}
+	p.bgPrefOK = true
+}
+
+// bgOutside returns the summed background-only objective over every patch
+// pixel outside the swept sub-rectangle [x0,x1) x [y0,y1) (absolute pixel
+// coordinates, already clipped to Rect). An empty swept rectangle yields the
+// whole patch. When nothing is culled it returns 0 without building the
+// prefix sums.
+func (p *Patch) bgOutside(x0, y0, x1, y1 int) float64 {
+	if x0 >= x1 || y0 >= y1 {
+		p.ensureBgPrefix()
+		return p.bgRowPref[p.Rect.Height()]
+	}
+	if x0 == p.Rect.X0 && y0 == p.Rect.Y0 && x1 == p.Rect.X1 && y1 == p.Rect.Y1 {
+		return 0
+	}
+	p.ensureBgPrefix()
+	w, h := p.Rect.Width(), p.Rect.Height()
+	ry0, ry1 := y0-p.Rect.Y0, y1-p.Rect.Y0
+	lx, rx := x0-p.Rect.X0, x1-p.Rect.X0
+	v := p.bgRowPref[ry0] + (p.bgRowPref[h] - p.bgRowPref[ry1])
+	for y := ry0; y < ry1; y++ {
+		row := p.bgPref[y*(w+1) : (y+1)*(w+1)]
+		v += row[lx] + (row[w] - row[rx])
+	}
+	return v
+}
 
 // Problem is the per-source optimization problem: the active patches plus
 // the priors.
@@ -65,54 +130,43 @@ type Problem struct {
 // NewProblem assembles a Problem from survey images: for each image whose
 // footprint contains the source position, an active window of radiusPx
 // pixels around the source becomes a patch with sky background. Neighbor
-// contributions are added separately via AddNeighbor.
+// contributions are added separately via AddNeighbor. Hot paths building
+// problems in a loop should hold a Builder and use its Build, which reuses
+// all patch storage.
 func NewProblem(priors *model.Priors, images []*survey.Image, pos geom.Pt2, radiusPx float64) *Problem {
-	// The anchor SD (1e-3 deg ≈ 9 px) is far looser than any detectable
-	// source's posterior, so it only catches the fully-degenerate case.
-	pb := &Problem{Priors: priors, PosPenalty: 1 / (1e-3 * 1e-3), PosAnchor: pos}
-	for _, im := range images {
-		px, py := im.WCS.WorldToPix(pos)
-		if px < -radiusPx || py < -radiusPx ||
-			px > float64(im.W)+radiusPx || py > float64(im.H)+radiusPx {
-			continue
-		}
-		rect := geom.PixRect{
-			X0: int(math.Floor(px - radiusPx)), Y0: int(math.Floor(py - radiusPx)),
-			X1: int(math.Ceil(px+radiusPx)) + 1, Y1: int(math.Ceil(py+radiusPx)) + 1,
-		}.Clip(im.W, im.H)
-		if rect.Empty() {
-			continue
-		}
-		n := rect.Width() * rect.Height()
-		p := &Patch{
-			Band: im.Band, Rect: rect, WCS: im.WCS, PSF: im.PSF, Iota: im.Iota,
-			Obs: make([]float64, n),
-			Bg:  make([]float64, n),
-			VBg: make([]float64, n),
-		}
-		k := 0
-		for y := rect.Y0; y < rect.Y1; y++ {
-			for x := rect.X0; x < rect.X1; x++ {
-				p.Obs[k] = im.At(x, y)
-				p.Bg[k] = im.Sky
-				k++
-			}
-		}
-		pb.Patches = append(pb.Patches, p)
-	}
-	return pb
+	return new(Builder).Build(priors, images, pos, radiusPx)
 }
 
 // AddNeighbor folds a fixed neighboring source's expected contribution and
 // variance into every patch background. The neighbor is described by its
 // current variational solution.
 func (pb *Problem) AddNeighbor(c *model.Constrained) {
+	var ns neighborScratch
 	for _, p := range pb.Patches {
-		addNeighborToPatch(p, c)
+		addNeighborToPatch(p, c, &ns)
 	}
 }
 
-func addNeighborToPatch(p *Patch, c *model.Constrained) {
+// neighborScratch owns the buffers one AddNeighbor evaluation needs; the
+// pooled problem Builder retains one so the per-fit neighbor folds allocate
+// nothing in steady state.
+type neighborScratch struct {
+	comb            []mog.ProfComp
+	mix             mog.Mixture
+	star, gal       []mog.ValueComp
+	dxs, rowS, rowG []float64
+}
+
+// addNeighborToPatch folds one neighbor into one patch through the value row
+// kernel: the neighbor's appearance mixtures are compiled once, the patch
+// rectangle is clipped to the neighbor's culling radius (outside it the
+// truncated densities are identically zero, so the fold is a no-op), and
+// each remaining row is swept with the exp-free recurrence kernel.
+func addNeighborToPatch(p *Patch, c *model.Constrained, ns *neighborScratch) {
+	if useScalarRef {
+		addNeighborRef(p, c)
+		return
+	}
 	// Per-band flux moments for both types.
 	m1s, m2s := model.FluxMoments(c.R1[model.Star], c.R2[model.Star], c.C1[model.Star], c.C2[model.Star])
 	m1g, m2g := model.FluxMoments(c.R1[model.Gal], c.R2[model.Gal], c.C1[model.Gal], c.C2[model.Gal])
@@ -122,29 +176,53 @@ func addNeighborToPatch(p *Patch, c *model.Constrained) {
 
 	// Spatial mixtures centered at the neighbor's position.
 	px, py := p.WCS.WorldToPix(c.Pos)
-	star := p.PSF
-	gal := galaxyMixtureFor(c, p)
+	ns.comb = appendProfileBlend(ns.comb[:0], c.GalDevFrac)
+	ns.mix = mog.GalaxyMixtureInto(ns.mix[:0], p.PSF, ns.comb,
+		clampAB(c.GalAxisRatio), c.GalAngle, clampScale(c.GalScale),
+		model.JacFromWCS(p.WCS))
 
 	// Skip neighbors whose light cannot reach the patch.
-	reach := model.RenderRadiusPx(gal, 0, 0, 6) + model.RenderRadiusPx(star, 0, 0, 6)
+	reach := model.RenderRadiusPx(ns.mix, 0, 0, 6) + model.RenderRadiusPx(p.PSF, 0, 0, 6)
 	if px < float64(p.Rect.X0)-reach || px > float64(p.Rect.X1)+reach ||
 		py < float64(p.Rect.Y0)-reach || py > float64(p.Rect.Y1)+reach {
 		return
 	}
 
+	ns.star = mog.CompileInto(ns.star[:0], p.PSF)
+	ns.gal = mog.CompileInto(ns.gal[:0], ns.mix)
+	r := mog.ValueBoundingRadiusPx(ns.star)
+	if rg := mog.ValueBoundingRadiusPx(ns.gal); rg > r {
+		r = rg
+	}
+	x0, y0, x1, y1 := cullRect(p.Rect, px, py, r)
+	if x0 >= x1 || y0 >= y1 {
+		return
+	}
+	w := x1 - x0
+	ns.dxs = sliceutil.Grow(ns.dxs, w)
+	ns.rowS = sliceutil.Grow(ns.rowS, w)
+	ns.rowG = sliceutil.Grow(ns.rowG, w)
+	dxs, rowS, rowG := ns.dxs[:w], ns.rowS[:w], ns.rowG[:w]
+	for i := range dxs {
+		dxs[i] = float64(x0+i) - px
+	}
+
 	iota := p.Iota
-	k := 0
-	for y := p.Rect.Y0; y < p.Rect.Y1; y++ {
-		for x := p.Rect.X0; x < p.Rect.X1; x++ {
-			gs := star.Eval(float64(x)-px, float64(y)-py)
-			gg := gal.Eval(float64(x)-px, float64(y)-py)
+	rectW := p.Rect.Width()
+	for y := y0; y < y1; y++ {
+		dy := float64(y) - py
+		mog.SweepRowValue(rowS, ns.star, dxs, dy)
+		mog.SweepRowValue(rowG, ns.gal, dxs, dy)
+		k := (y-p.Rect.Y0)*rectW + (x0 - p.Rect.X0)
+		for i := 0; i < w; i++ {
+			gs, gg := rowS[i], rowG[i]
 			ef := iota * (chiS*m1s[b]*gs + chiG*m1g[b]*gg)
 			e2 := iota * iota * (chiS*m2s[b]*gs*gs + chiG*m2g[b]*gg*gg)
-			p.Bg[k] += ef
-			p.VBg[k] += math.Max(e2-ef*ef, 0)
-			k++
+			p.Bg[k+i] += ef
+			p.VBg[k+i] += math.Max(e2-ef*ef, 0)
 		}
 	}
+	p.bgPrefOK = false
 }
 
 // galaxyMixtureFor builds the neighbor's galaxy appearance mixture centered

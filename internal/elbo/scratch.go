@@ -36,6 +36,13 @@ type Scratch struct {
 	galMix mog.Mixture
 	starV  []mog.ValueComp
 	galV   []mog.ValueComp
+
+	// Row-sweep kernel buffers: the SoA lanes one SweepRow fills, the
+	// unit-spaced pixel x-offsets of the current row window, and the
+	// value-path star/galaxy density rows.
+	lanes      mog.RowLanes
+	dxs        []float64
+	rowS, rowG []float64
 }
 
 // NewScratch returns a Scratch ready for evaluations of any Problem.

@@ -193,6 +193,10 @@ func GalaxyMixtureInto(dst Mixture, psf Mixture, prof []ProfComp, ab, angle, sig
 type ValueComp struct {
 	K, Q11, Q12, Q22 float64
 	MuX, MuY         float64
+
+	// EStep is exp(-Q11), the constant second-difference ratio of the
+	// row-sweep exponential recurrence (see rowkernel.go).
+	EStep float64
 }
 
 // CompileInto appends m's components in compiled form to dst and returns it;
@@ -207,6 +211,7 @@ func CompileInto(dst []ValueComp, m Mixture) []ValueComp {
 			Q12: -c.Sxy * inv,
 			Q22: c.Sxx * inv,
 			MuX: c.MuX, MuY: c.MuY,
+			EStep: math.Exp(-c.Syy * inv),
 		})
 	}
 	return dst
@@ -236,6 +241,10 @@ type DualComp struct {
 	K             dual.Dual
 	Q11, Q12, Q22 dual.Dual
 	MuX, MuY      float64
+
+	// EStep is exp(-Q11.V), the constant second-difference ratio of the
+	// row-sweep exponential recurrence (see rowkernel.go).
+	EStep float64
 }
 
 // Evaluator evaluates a source's star and galaxy spatial densities at pixel
@@ -316,12 +325,14 @@ func (e *Evaluator) Build(psf Mixture, expProf, devProf []ProfComp,
 				det := dual.Sub(dual.Mul(s11, s22), dual.Sqr(s12))
 				invDet := dual.Recip(det)
 				wt := dual.Scale(pc.Weight*pk.Weight/(2*math.Pi), mix)
+				q11 := dual.Mul(s22, invDet)
 				e.Gal = append(e.Gal, DualComp{
 					K:   dual.Mul(wt, dual.Recip(dual.Sqrt(det))),
-					Q11: dual.Mul(s22, invDet),
+					Q11: q11,
 					Q12: dual.Neg(dual.Mul(s12, invDet)),
 					Q22: dual.Mul(s11, invDet),
 					MuX: pk.MuX, MuY: pk.MuY,
+					EStep: math.Exp(-q11.V),
 				})
 			}
 		}
@@ -345,6 +356,7 @@ func starCompsInto(dst []DualComp, psf Mixture) []DualComp {
 			Q12: dual.Const(-c.Sxy * inv),
 			Q22: dual.Const(c.Sxx * inv),
 			MuX: c.MuX, MuY: c.MuY,
+			EStep: math.Exp(-c.Syy * inv),
 		})
 	}
 	return dst

@@ -1,0 +1,236 @@
+package mog
+
+import (
+	"math"
+	"testing"
+
+	"celeste/internal/dual"
+	"celeste/internal/rng"
+)
+
+// randomEvaluator builds an Evaluator from a random PSF, random profile
+// mixtures, and random unconstrained shape parameters — the same ingredients
+// the ELBO hot path compiles per (source, image) pair.
+func randomEvaluator(r *rng.Source) *Evaluator {
+	nPSF := 1 + r.Intn(3)
+	psf := make(Mixture, 0, nPSF)
+	for i := 0; i < nPSF; i++ {
+		sx := 0.5 + 3*r.Float64()
+		sy := 0.5 + 3*r.Float64()
+		cr := (2*r.Float64() - 1) * 0.8 * math.Sqrt(sx*sy)
+		psf = append(psf, Component{
+			Weight: 0.2 + r.Float64(),
+			MuX:    r.Normal() * 0.5, MuY: r.Normal() * 0.5,
+			Sxx: sx, Sxy: cr, Syy: sy,
+		})
+	}
+	expP := []ProfComp{{Weight: 0.7, Var: 0.3 + r.Float64()}, {Weight: 0.3, Var: 1 + 2*r.Float64()}}
+	devP := []ProfComp{{Weight: 0.6, Var: 0.2 + 0.5*r.Float64()}, {Weight: 0.4, Var: 2 + 6*r.Float64()}}
+	scale := 1e-4 * (0.5 + 3*r.Float64())
+	jac := Jac2{A11: 1 / 1.1e-4, A22: 1 / 1.1e-4, A12: 0.1 * r.Normal() / 1.1e-4, A21: 0.1 * r.Normal() / 1.1e-4}
+	return NewEvaluator(psf, expP, devP,
+		r.Normal(), r.Normal(), r.Normal(), math.Log(scale), jac)
+}
+
+// relClose reports |a-b| <= tol relative to a per-pixel scale floor: lane
+// entries are compared against the magnitude of the quantity itself plus the
+// density value (entries near zero crossings are dominated by the value
+// scale).
+func relClose(a, b, scale, tol float64) bool {
+	return math.Abs(a-b) <= tol*(math.Abs(a)+math.Abs(b)+scale+1e-300)
+}
+
+// TestSweepRowMatchesScalarReference is the differential property test for
+// the tentpole: over random evaluators, row geometries, and source offsets,
+// every lane of SweepRow must match the retained scalar reference path
+// (EvalStar/EvalGal) — value, gradient, and Hessian — within 1e-10 relative.
+func TestSweepRowMatchesScalarReference(t *testing.T) {
+	r := rng.New(1234)
+	var lanes RowLanes
+	for trial := 0; trial < 200; trial++ {
+		e := randomEvaluator(r)
+		w := 1 + r.Intn(80)
+		srcX := 20 * r.Normal()
+		x0 := -w/2 - r.Intn(10)
+		dxs := make([]float64, w)
+		for i := range dxs {
+			dxs[i] = float64(x0+i) - srcX
+		}
+		dy := 15 * r.Normal()
+
+		lanes.Resize(w)
+		e.SweepRow(&lanes, dxs, dy)
+
+		for i := 0; i < w; i++ {
+			star := e.EvalStar(dxs[i], dy)
+			gal := e.EvalGal(dxs[i], dy)
+			scaleS := math.Abs(star.V)
+			scaleG := math.Abs(gal.V)
+
+			if !relClose(lanes.StarV[i], star.V, scaleS, 1e-10) {
+				t.Fatalf("trial %d px %d: StarV = %g, ref %g", trial, i, lanes.StarV[i], star.V)
+			}
+			for k := 0; k < 2; k++ {
+				if !relClose(lanes.StarGLane(k)[i], star.G[k], scaleS, 1e-10) {
+					t.Fatalf("trial %d px %d: StarG[%d] = %g, ref %g",
+						trial, i, k, lanes.StarGLane(k)[i], star.G[k])
+				}
+			}
+			for k := 0; k < 3; k++ {
+				if !relClose(lanes.StarHLane(k)[i], star.H[k], scaleS, 1e-10) {
+					t.Fatalf("trial %d px %d: StarH[%d] = %g, ref %g",
+						trial, i, k, lanes.StarHLane(k)[i], star.H[k])
+				}
+			}
+			// The star lanes only cover the position block; the reference
+			// must agree that everything else is exactly zero.
+			for k := 2; k < dual.N; k++ {
+				if star.G[k] != 0 {
+					t.Fatalf("star reference has shape gradient %g at %d", star.G[k], k)
+				}
+			}
+
+			if !relClose(lanes.GalV[i], gal.V, scaleG, 1e-10) {
+				t.Fatalf("trial %d px %d: GalV = %g, ref %g", trial, i, lanes.GalV[i], gal.V)
+			}
+			for k := 0; k < dual.N; k++ {
+				if !relClose(lanes.GalGLane(k)[i], gal.G[k], scaleG, 1e-10) {
+					t.Fatalf("trial %d px %d: GalG[%d] = %g, ref %g",
+						trial, i, k, lanes.GalGLane(k)[i], gal.G[k])
+				}
+			}
+			for k := 0; k < dual.HessLen; k++ {
+				if !relClose(lanes.GalHLane(k)[i], gal.H[k], scaleG, 1e-10) {
+					t.Fatalf("trial %d px %d: GalH[%d] = %g, ref %g",
+						trial, i, k, lanes.GalHLane(k)[i], gal.H[k])
+				}
+			}
+		}
+	}
+}
+
+// TestSweepRowValueMatchesEvalComps is the value-path analogue over random
+// compiled mixtures.
+func TestSweepRowValueMatchesEvalComps(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(6)
+		m := make(Mixture, 0, n)
+		for i := 0; i < n; i++ {
+			sx := 0.2 + 4*r.Float64()
+			sy := 0.2 + 4*r.Float64()
+			cr := (2*r.Float64() - 1) * 0.8 * math.Sqrt(sx*sy)
+			m = append(m, Component{
+				Weight: 0.1 + 2*r.Float64(),
+				MuX:    6 * r.Normal(), MuY: 6 * r.Normal(),
+				Sxx: sx, Sxy: cr, Syy: sy,
+			})
+		}
+		comps := CompileInto(nil, m)
+		w := 1 + r.Intn(120)
+		x0 := -w/2 - r.Intn(8)
+		srcX := 10 * r.Normal()
+		dxs := make([]float64, w)
+		for i := range dxs {
+			dxs[i] = float64(x0+i) - srcX
+		}
+		dy := 12 * r.Normal()
+
+		dst := make([]float64, w)
+		SweepRowValue(dst, comps, dxs, dy)
+		var peak float64
+		for i := range comps {
+			if comps[i].K > peak {
+				peak = comps[i].K
+			}
+		}
+		for i := 0; i < w; i++ {
+			ref := EvalComps(comps, dxs[i], dy)
+			// Truncation decisions are identical, so the only divergence is
+			// recurrence drift: bounded relative to the value itself.
+			if math.Abs(dst[i]-ref) > 1e-10*(math.Abs(ref)+1e-30*peak) {
+				t.Fatalf("trial %d px %d: sweep %g, ref %g", trial, i, dst[i], ref)
+			}
+		}
+	}
+}
+
+// TestRowSweepDriftBound pins the exp-recurrence resync policy: across a row
+// far longer than the resync period, the recurrence value must track exact
+// exp() within 1e-12 relative at every active pixel.
+func TestRowSweepDriftBound(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 50; trial++ {
+		// A wide component so hundreds of pixels stay active in one interval.
+		sx := 400 + 600*r.Float64()
+		sy := 400 + 600*r.Float64()
+		cr := (2*r.Float64() - 1) * 0.5 * math.Sqrt(sx*sy)
+		m := Mixture{{Weight: 1 + r.Float64(), MuX: r.Normal(), MuY: r.Normal(),
+			Sxx: sx, Sxy: cr, Syy: sy}}
+		comps := CompileInto(nil, m)
+
+		w := 400
+		dxs := make([]float64, w)
+		for i := range dxs {
+			dxs[i] = float64(i-w/2) - 0.3
+		}
+		dy := 5 * r.Normal()
+		dst := make([]float64, w)
+		SweepRowValue(dst, comps, dxs, dy)
+		for i := 0; i < w; i++ {
+			ref := EvalComps(comps, dxs[i], dy)
+			if ref == 0 {
+				if dst[i] != 0 {
+					t.Fatalf("trial %d px %d: sweep %g where reference truncates", trial, i, dst[i])
+				}
+				continue
+			}
+			if rel := math.Abs(dst[i]-ref) / math.Abs(ref); rel > 1e-12 {
+				t.Fatalf("trial %d px %d: drift %g exceeds 1e-12", trial, i, rel)
+			}
+		}
+	}
+}
+
+// FuzzRowKernelVsEvalComps cross-checks the row-sweep value kernel against
+// the scalar reference pixel-by-pixel on fuzzer-chosen component geometry.
+func FuzzRowKernelVsEvalComps(f *testing.F) {
+	f.Add(1.0, 0.5, 0.0, 1.0, 0.3, -0.2, 0.7, 10)
+	f.Add(30.0, 25.0, 10.0, 2.0, -5.0, 4.0, 1.7, 64)
+	f.Add(0.4, 0.3, -0.15, 0.9, 0.0, 0.0, 0.01, 130)
+	f.Fuzz(func(t *testing.T, sxx, syy, sxy, weight, mux, muy, dy float64, w int) {
+		if w < 1 || w > 512 {
+			return
+		}
+		if !(sxx > 1e-3 && sxx < 1e6 && syy > 1e-3 && syy < 1e6) {
+			return
+		}
+		if !(math.Abs(sxy) < 0.95*math.Sqrt(sxx*syy)) {
+			return
+		}
+		if !(weight > 1e-6 && weight < 1e6) || math.Abs(mux) > 1e3 ||
+			math.Abs(muy) > 1e3 || math.Abs(dy) > 1e3 {
+			return
+		}
+		comps := CompileInto(nil, Mixture{{Weight: weight, MuX: mux, MuY: muy,
+			Sxx: sxx, Sxy: sxy, Syy: syy}})
+		dxs := make([]float64, w)
+		for i := range dxs {
+			dxs[i] = float64(i-w/2) + 0.25
+		}
+		dst := make([]float64, w)
+		SweepRowValue(dst, comps, dxs, dy)
+		for i := 0; i < w; i++ {
+			ref := EvalComps(comps, dxs[i], dy)
+			if ref == 0 {
+				if dst[i] != 0 {
+					t.Fatalf("px %d: sweep %g where reference truncates", i, dst[i])
+				}
+				continue
+			}
+			if math.Abs(dst[i]-ref) > 1e-10*math.Abs(ref) {
+				t.Fatalf("px %d: sweep %g, ref %g", i, dst[i], ref)
+			}
+		}
+	})
+}

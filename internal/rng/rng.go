@@ -270,10 +270,20 @@ func (r *Source) Shuffle(n int, swap func(i, j int)) {
 
 // Perm returns a random permutation of [0, n).
 func (r *Source) Perm(n int) []int {
-	p := make([]int, n)
+	return r.PermInto(make([]int, n))
+}
+
+// PermInto fills p with a random permutation of [0, len(p)) and returns it,
+// drawing the identical random stream as Perm of the same length. The
+// Fisher-Yates loop is inlined (rather than calling Shuffle with a closure)
+// so hot paths can permute without allocating.
+func (r *Source) PermInto(p []int) []int {
 	for i := range p {
 		p[i] = i
 	}
-	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
 	return p
 }

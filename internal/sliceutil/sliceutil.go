@@ -1,0 +1,13 @@
+// Package sliceutil holds the tiny slice helpers the scratch-reuse pattern
+// leans on across the hot-path packages.
+package sliceutil
+
+// Grow returns s resized to length n, reallocating only when the capacity
+// is insufficient. Contents are unspecified after a reallocation; callers
+// that need zeroed storage must clear the result themselves.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

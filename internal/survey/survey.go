@@ -205,13 +205,18 @@ func (s *Survey) renderImage(r *rng.Source, id, run, field, band int,
 // bands. This is the "determine the relevant images to load" step of task
 // processing.
 func (s *Survey) ImagesInBox(box geom.Box) []*Image {
-	var out []*Image
+	return s.ImagesInBoxInto(nil, box)
+}
+
+// ImagesInBoxInto appends the images intersecting box to dst and returns it;
+// pass dst[:0] of a retained buffer for allocation-free reuse.
+func (s *Survey) ImagesInBoxInto(dst []*Image, box geom.Box) []*Image {
 	for _, im := range s.Images {
 		if im.Footprint().Intersects(box) {
-			out = append(out, im)
+			dst = append(dst, im)
 		}
 	}
-	return out
+	return dst
 }
 
 // TruthInBox returns indices of truth sources inside box.

@@ -47,12 +47,13 @@ type FitResult struct {
 	TotalSeconds float64
 }
 
-// Scratch owns every buffer a fit needs — the ELBO evaluation scratch, the
-// trust-region workspace, and the negated-gradient buffer — and doubles as
-// the opt.Objective the optimizer calls. One Scratch serves one goroutine;
-// after the first fit warms it, FitWith performs zero steady-state heap
-// allocations, which is what lets a Cyclades worker sweep thousands of
-// sources without touching the garbage collector.
+// Scratch owns every buffer a fit needs — the ELBO evaluation scratch
+// (including the row-sweep kernel's SoA lanes), the trust-region workspace,
+// and the negated-gradient buffer — and doubles as the opt.Objective the
+// optimizer calls. One Scratch serves one goroutine; after the first fit
+// warms it, FitWith performs zero steady-state heap allocations, which is
+// what lets a Cyclades worker sweep thousands of sources without touching
+// the garbage collector.
 type Scratch struct {
 	es *elbo.Scratch
 	ws *opt.Workspace

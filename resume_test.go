@@ -120,19 +120,27 @@ func TestInferFaultInjectionMatchesFaultFree(t *testing.T) {
 	cfg.Threads, cfg.Processes = 2, 3
 
 	base := Infer(sv, init, cfg)
-	// Rank 0 holds the Dtree dynamic pool, so it is guaranteed to draw work
-	// regardless of scheduling races — the kill always lands mid-task.
-	res, err := InferWithOptions(sv, init, cfg, InferOptions{
-		Faults: &FaultPlan{Faults: []Fault{{Rank: 0, AfterTasks: 0, Kill: true}}},
-	})
-	if err != nil {
-		t.Fatal(err)
+	// The kill fires when rank 0 draws a task. Rank 0 holds the Dtree
+	// dynamic pool, so it almost always does — but under heavy machine load
+	// the other ranks can drain the whole (now fast) run before rank 0's
+	// goroutine is first scheduled, in which case the kill never lands and
+	// the run legitimately completes fault-free. Retry the scheduling race;
+	// every attempt that does land a kill must recover byte-identically.
+	for attempt := 1; ; attempt++ {
+		res, err := InferWithOptions(sv, init, cfg, InferOptions{
+			Faults: &FaultPlan{Faults: []Fault{{Rank: 0, AfterTasks: 0, Kill: true}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		entriesIdentical(t, base.Catalog, res.Catalog, "fault-injected run")
+		if res.FailedRanks == 1 && res.RequeuedTasks > 0 {
+			return
+		}
+		if attempt >= 5 {
+			t.Fatalf("kill never landed in %d attempts (FailedRanks=%d, RequeuedTasks=%d)",
+				attempt, res.FailedRanks, res.RequeuedTasks)
+		}
+		t.Logf("attempt %d: rank 0 drew no work before the run finished; retrying", attempt)
 	}
-	if res.FailedRanks != 1 {
-		t.Errorf("FailedRanks = %d, want 1", res.FailedRanks)
-	}
-	if res.RequeuedTasks == 0 {
-		t.Error("kill recovered without requeueing anything")
-	}
-	entriesIdentical(t, base.Catalog, res.Catalog, "fault-injected run")
 }
