@@ -341,6 +341,7 @@ func BenchmarkHotPath(b *testing.B) {
 		body func(*testing.B) int64
 	}{
 		{"elbo-eval", benchfix.BenchElboEval},
+		{"elbo-evalgrad", benchfix.BenchElboEvalGrad},
 		{"elbo-evalvalue", benchfix.BenchElboEvalValue},
 		{"vi-fit", benchfix.BenchViFit},
 		{"core-process", benchfix.BenchCoreProcess},

@@ -117,6 +117,14 @@ type InferConfig struct {
 	// MaxIter bounds per-source Newton iterations.
 	MaxIter int
 	Seed    uint64
+
+	// EagerHessian disables the lazy-Hessian trust region (every accepted
+	// Newton step re-evaluates the full Hessian) and ColdSweeps disables the
+	// cross-sweep warm starts. Both are ablation/reference knobs: the
+	// defaults are strictly faster, and TestLazyHessianCatalogDelta bounds
+	// the catalog difference they introduce.
+	EagerHessian bool
+	ColdSweeps   bool
 }
 
 // InferResult is the outcome of Infer.
@@ -191,11 +199,12 @@ func InferWithOptions(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig,
 		opts.Transport = &t
 	}
 	run, err := core.RunWithOptions(sv, initCatalog, tasks, core.Config{
-		Threads:   cfg.Threads,
-		Rounds:    cfg.Rounds,
-		Processes: cfg.Processes,
-		Seed:      cfg.Seed,
-		Fit:       vi.Options{MaxIter: cfg.MaxIter},
+		Threads:    cfg.Threads,
+		Rounds:     cfg.Rounds,
+		Processes:  cfg.Processes,
+		Seed:       cfg.Seed,
+		Fit:        vi.Options{MaxIter: cfg.MaxIter, EagerHessian: cfg.EagerHessian},
+		ColdSweeps: cfg.ColdSweeps,
 	}, core.RunOptions{
 		CheckpointEvery: opts.CheckpointEvery,
 		OnCheckpoint:    opts.OnCheckpoint,

@@ -57,10 +57,14 @@ type report struct {
 // seedReference: see report.SeedReference. The vi_fit visits_per_sec is
 // back-filled from the fixture's fixed workload: a full fit visits 137,500
 // active pixels (invariant across PRs until culling changes the fixture),
-// so the seed rate is 137500 / 1.01801081 s.
+// so the seed rate is 137500 / 1.01801081 s. The elbo_evalgrad reference is
+// the PR-4 full-tier cost (5.65 ms): before the gradient tier existed, a
+// gradient cost a full evaluation, so the regression gate for the new tier
+// binds against that provenance.
 var seedReference = map[string]entry{
-	"elbo_eval": {NsPerOp: 54713155, AllocsPerOp: 3689, BytesPerOp: 7546332, VisitsPerSec: 56802},
-	"vi_fit":    {NsPerOp: 1018010810, AllocsPerOp: 74491, BytesPerOp: 151363660, VisitsPerSec: 135067},
+	"elbo_eval":     {NsPerOp: 54713155, AllocsPerOp: 3689, BytesPerOp: 7546332, VisitsPerSec: 56802},
+	"elbo_evalgrad": {NsPerOp: 5654427, AllocsPerOp: 0, BytesPerOp: 0, VisitsPerSec: 552664},
+	"vi_fit":        {NsPerOp: 1018010810, AllocsPerOp: 74491, BytesPerOp: 151363660, VisitsPerSec: 135067},
 }
 
 // maxRegression is the gate: ns/op more than this factor above the seed
@@ -70,6 +74,7 @@ const maxRegression = 1.15
 // allocBudget is the steady-state allocs/op gate per benchmark.
 var allocBudget = map[string]int64{
 	"elbo_eval":      0,
+	"elbo_evalgrad":  0,
 	"elbo_evalvalue": 0,
 	"vi_fit":         0,
 	"core_process":   100,
@@ -128,6 +133,7 @@ func main() {
 	}
 
 	record("elbo_eval", benchfix.BenchElboEval)
+	record("elbo_evalgrad", benchfix.BenchElboEvalGrad)
 	record("elbo_evalvalue", benchfix.BenchElboEvalValue)
 	record("vi_fit", benchfix.BenchViFit)
 	record("core_process", benchfix.BenchCoreProcess)

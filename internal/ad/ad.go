@@ -51,6 +51,14 @@ type Space struct {
 	n     int
 	arena []*Num
 	used  int
+
+	// gradOnly suppresses Hessian propagation: operations on Nums drawn from
+	// the space compute values and gradients only, leaving Hess storage
+	// stale. The gradient-only ELBO tier flips this on for its KL and
+	// flux-moment subgraphs — the Hessian loop is O(n²) per operation and is
+	// most of their cost. Alternating modes on one space is safe because
+	// full-mode operations overwrite every Hessian entry of their results.
+	gradOnly bool
 }
 
 // NewSpace returns a Space of dimension n.
@@ -58,6 +66,19 @@ func NewSpace(n int) *Space { return &Space{n: n} }
 
 // Dim returns the space dimension.
 func (s *Space) Dim() int { return s.n }
+
+// GradOnly reports whether Hessian propagation is currently suppressed.
+func (s *Space) GradOnly() bool { return s.gradOnly }
+
+// SetGradOnly switches Hessian propagation off (true) or on (false) for
+// subsequent operations on Nums drawn from this space, returning the previous
+// setting. With gradOnly set, the Hess storage of every produced Num is stale
+// and must not be read.
+func (s *Space) SetGradOnly(on bool) bool {
+	prev := s.gradOnly
+	s.gradOnly = on
+	return prev
+}
 
 // Reset recycles every Num drawn from the space. All previously returned
 // Nums are invalidated: subsequent operations on the space reuse their
@@ -89,8 +110,10 @@ func (s *Space) Const(v float64) *Num {
 	for i := range x.Grad {
 		x.Grad[i] = 0
 	}
-	for i := range x.Hess {
-		x.Hess[i] = 0
+	if !s.gradOnly {
+		for i := range x.Hess {
+			x.Hess[i] = 0
+		}
 	}
 	return x
 }
@@ -131,6 +154,9 @@ func unary(x *Num, f0, f1, f2 float64) *Num {
 	for i, g := range x.Grad {
 		y.Grad[i] = f1 * g
 	}
+	if x.space != nil && x.space.gradOnly {
+		return y
+	}
 	k := 0
 	for i := 0; i < len(x.Grad); i++ {
 		gi := x.Grad[i]
@@ -148,6 +174,9 @@ func binary(a, b *Num, f0, fa, fb, faa, fab, fbb float64) *Num {
 	y.Val = f0
 	for i := range a.Grad {
 		y.Grad[i] = fa*a.Grad[i] + fb*b.Grad[i]
+	}
+	if a.space != nil && a.space.gradOnly {
+		return y
 	}
 	k := 0
 	for i := 0; i < len(a.Grad); i++ {

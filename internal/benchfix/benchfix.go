@@ -118,6 +118,22 @@ func BenchElboEval(b *testing.B) int64 {
 	return visits
 }
 
+// BenchElboEvalGrad measures the middle evaluation tier (EvalGradInto): value
+// and gradient without Hessian moments, the cost of a lazy-Hessian accepted
+// step.
+func BenchElboEvalGrad(b *testing.B) int64 {
+	pb, init := SingleSourceScene(11)
+	s := elbo.NewScratch()
+	pb.EvalGradInto(&init, s)
+	var visits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := pb.EvalGradInto(&init, s)
+		visits += r.Visits
+	}
+	return visits
+}
+
 // BenchElboEvalValue measures the value-only trust-region ratio-test path.
 func BenchElboEvalValue(b *testing.B) int64 {
 	pb, init := SingleSourceScene(11)
@@ -159,6 +175,8 @@ func AllocGates() map[string]float64 {
 	es := elbo.NewScratch()
 	pb.EvalInto(&init, es)
 	out["elbo_eval"] = testing.AllocsPerRun(5, func() { pb.EvalInto(&init, es) })
+	pb.EvalGradInto(&init, es)
+	out["elbo_evalgrad"] = testing.AllocsPerRun(5, func() { pb.EvalGradInto(&init, es) })
 	pb.EvalValueWith(&init, es)
 	out["elbo_evalvalue"] = testing.AllocsPerRun(5, func() { pb.EvalValueWith(&init, es) })
 

@@ -91,17 +91,26 @@ func TestKilledRanksRecoverIdentically(t *testing.T) {
 	}
 	for pi, fp := range plans {
 		fp := fp
-		res, err := RunWithOptions(sv, noisy, tasks, cfg, RunOptions{Faults: &fp})
-		if err != nil {
-			t.Fatalf("plan %d: %v", pi, err)
+		// A kill fires only when its rank draws a task; under heavy machine
+		// load the surviving ranks can drain the whole (now fast) run before
+		// the doomed rank's goroutine is first scheduled, in which case the
+		// run legitimately completes fault-free. Retry the scheduling race;
+		// every attempt that does land the kills must recover identically.
+		for attempt := 1; ; attempt++ {
+			res, err := RunWithOptions(sv, noisy, tasks, cfg, RunOptions{Faults: &fp})
+			if err != nil {
+				t.Fatalf("plan %d: %v", pi, err)
+			}
+			catalogsEqual(t, base.Catalog, res.Catalog, fmt.Sprintf("fault plan %d", pi))
+			if res.FailedRanks == len(fp.Faults) && res.RequeuedTasks > 0 {
+				break
+			}
+			if attempt >= 5 {
+				t.Fatalf("plan %d: kills never landed in %d attempts (FailedRanks=%d, RequeuedTasks=%d)",
+					pi, attempt, res.FailedRanks, res.RequeuedTasks)
+			}
+			t.Logf("plan %d attempt %d: a doomed rank drew no work; retrying", pi, attempt)
 		}
-		if res.FailedRanks != len(fp.Faults) {
-			t.Errorf("plan %d: %d ranks failed, plan killed %d", pi, res.FailedRanks, len(fp.Faults))
-		}
-		if res.RequeuedTasks == 0 {
-			t.Errorf("plan %d: no tasks requeued despite mid-task kills", pi)
-		}
-		catalogsEqual(t, base.Catalog, res.Catalog, fmt.Sprintf("fault plan %d", pi))
 	}
 }
 

@@ -154,5 +154,19 @@ func RunHash(sv *survey.Survey, catalog []model.CatalogEntry, tasks []partition.
 	wU64(cfg.Seed)
 	wInt(cfg.Fit.MaxIter)
 	wF64(cfg.Fit.GradTol)
+	// The ablation knobs change the optimization trajectory, so a checkpoint
+	// taken under one setting must not resume under another. The wire
+	// protocol does not carry them (RunWithOptions rejects them with a
+	// Transport); hashing them keeps the default-config worker handshake
+	// unchanged.
+	wBool := func(b bool) {
+		if b {
+			wInt(1)
+		} else {
+			wInt(0)
+		}
+	}
+	wBool(cfg.Fit.EagerHessian)
+	wBool(cfg.ColdSweeps)
 	return h.Sum64()
 }

@@ -44,6 +44,12 @@ type Config struct {
 	// Processes is the number of simulated scheduler ranks in Run
 	// (default 4); on a real cluster each would be an MPI process.
 	Processes int
+
+	// ColdSweeps disables the cross-sweep warm starts: every sweep then
+	// re-fits every source cold at the full tolerance, the pre-three-tier
+	// behavior. It exists for ablations and the warm-start catalog-delta
+	// test; warm sweeps are strictly cheaper.
+	ColdSweeps bool
 }
 
 func (c *Config) defaults() {
@@ -141,10 +147,21 @@ func (p *freeList[T]) put(x *T) {
 
 var workerPool = freeList[workerScratch]{newFn: func() *workerScratch { return &workerScratch{fit: vi.NewScratch()} }}
 
+// warmState is one source's cross-sweep warm-start cache entry: whether the
+// source has been fitted this task and the trust radius its last fit ended
+// at. The cache lives for one Process call (one task), so it is re-derived
+// identically when a task replays after a failure or a checkpoint resume —
+// warm starts never enter the checkpoint format.
+type warmState struct {
+	fitted bool
+	radius float64
+}
+
 // processScratch owns the per-Process-call planning buffers.
 type processScratch struct {
 	pos     []geom.Pt2
 	radii   []float64
+	warm    []warmState
 	graph   cyclades.Graph
 	planner cyclades.Planner
 	workers []*workerScratch
@@ -205,7 +222,49 @@ func (cfg Config) Process(rg *Region) Stats {
 		}
 	}()
 
+	// Cross-sweep warm starts: each source's fit in sweep r+1 initializes
+	// from its sweep-r converged parameters (Params is updated in place) AND
+	// from its converged trust radius, and the early sweeps run at an
+	// adaptively loosened tolerance — a geometric ladder that reaches the
+	// configured tolerance exactly on the final sweep. Early sweeps are
+	// provisional (every neighbor still moves), so polishing them to full
+	// tolerance buys nothing; the final sweep, warm-started a handful of
+	// iterations from its optimum, converges at full tolerance almost
+	// immediately. The cache is task-scoped (see warmState).
+	warm := ps.warm
+	if !cfg.ColdSweeps {
+		if cap(warm) < n {
+			warm = make([]warmState, n)
+			ps.warm = warm
+		}
+		warm = warm[:n]
+		for i := range warm {
+			warm[i] = warmState{}
+		}
+	} else {
+		warm = nil
+	}
+	baseTol := cfg.Fit.GradTol
+	if baseTol == 0 {
+		baseTol = vi.DefaultGradTol
+	}
+
 	for round := 0; round < cfg.Rounds; round++ {
+		fit := cfg.Fit
+		if warm != nil {
+			// Tolerance ladder: loosen by sweepTolFactor per remaining
+			// sweep, capped so even the first sweep resolves sources well
+			// below the photon-noise scale.
+			tol := baseTol
+			for s := round; s < cfg.Rounds-1; s++ {
+				tol *= sweepTolFactor
+				if tol > maxSweepTol {
+					tol = maxSweepTol
+					break
+				}
+			}
+			fit.GradTol = tol
+		}
 		batches := ps.planner.Plan(graph, r, batchSize)
 		for bi := range batches {
 			queues := ps.planner.Assign(&batches[bi], cfg.Threads)
@@ -219,7 +278,7 @@ func (cfg Config) Process(rg *Region) Stats {
 					defer wg.Done()
 					for _, comp := range comps {
 						for _, li := range comp {
-							cfg.fitOne(rg, graph, li, &stats, ws)
+							cfg.fitOne(rg, graph, li, fit, warm, &stats, ws)
 						}
 					}
 				}(queues[t], workers[t])
@@ -230,11 +289,27 @@ func (cfg Config) Process(rg *Region) Stats {
 	return stats
 }
 
+// Cross-sweep warm-start constants: the tolerance ladder factor per
+// remaining sweep and its absolute cap, and the warm initial-radius bounds
+// (a fit restarts at four times its previous converged radius, clamped).
+const (
+	sweepTolFactor = 30
+	maxSweepTol    = 1e-2
+	warmRadiusMin  = 0.05
+	warmRadiusMax  = 8.0
+)
+
 // fitOne fits local source li with its conflict-graph neighbors (current
 // values) and the external fixed neighbors folded into the background,
 // reusing the worker's scratch buffers for problem construction and the fit
-// itself.
-func (cfg Config) fitOne(rg *Region, graph *cyclades.Graph, li int, stats *Stats, ws *workerScratch) {
+// itself. When warm is non-nil it carries the cross-sweep warm-start cache:
+// a source fitted in an earlier sweep restarts at (a multiple of) its
+// converged trust radius instead of walking the radius in from scratch.
+// Entry li is only ever touched by the thread fitting li, and sweeps are
+// barrier-separated, so the cache needs no locking.
+func (cfg Config) fitOne(rg *Region, graph *cyclades.Graph, li int, fit vi.Options,
+	warm []warmState, stats *Stats, ws *workerScratch) {
+
 	cur := rg.Params[li].Constrained()
 	radiusPx := InfluenceRadiusPx(rg.Entries[li], rg.PixScale)
 	pb := ws.pbld.Build(rg.Priors, rg.Images, cur.Pos, radiusPx)
@@ -249,8 +324,20 @@ func (cfg Config) fitOne(rg *Region, graph *cyclades.Graph, li int, stats *Stats
 	for i := range rg.Neighbors {
 		ws.pbld.AddNeighbor(&rg.Neighbors[i])
 	}
-	res := vi.FitWith(pb, rg.Params[li], cfg.Fit, ws.fit)
+	if warm != nil && warm[li].fitted {
+		r := 4 * warm[li].radius
+		if r < warmRadiusMin {
+			r = warmRadiusMin
+		} else if r > warmRadiusMax {
+			r = warmRadiusMax
+		}
+		fit.InitRadius = r
+	}
+	res := vi.FitWith(pb, rg.Params[li], fit, ws.fit)
 	rg.Params[li] = res.Params
+	if warm != nil {
+		warm[li] = warmState{fitted: true, radius: res.FinalRadius}
+	}
 	atomic.AddInt64(&stats.Fits, 1)
 	atomic.AddInt64(&stats.NewtonIters, int64(res.Iters))
 	atomic.AddInt64(&stats.Visits, res.Visits)
@@ -447,6 +534,9 @@ func RunWithOptions(sv *survey.Survey, catalog []model.CatalogEntry, tasks []par
 	cfg.defaults()
 	if opts.Transport != nil && opts.Faults != nil {
 		return nil, errors.New("core: FaultPlan injects faults into the in-process runtime; fault the TCP runtime by killing real worker processes")
+	}
+	if opts.Transport != nil && (cfg.Fit.EagerHessian || cfg.ColdSweeps) {
+		return nil, errors.New("core: the EagerHessian/ColdSweeps ablation knobs are not carried by the wire protocol; run them on the in-process runtime")
 	}
 	priors := model.FitPriors(catalog)
 

@@ -23,6 +23,20 @@ func TestEvalIntoZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestEvalGradIntoZeroAllocSteadyState pins the guarantee for the middle
+// tier: a warm scratch makes a gradient-only evaluation allocation-free.
+func TestEvalGradIntoZeroAllocSteadyState(t *testing.T) {
+	pb, init := benchfix.SingleSourceScene(11)
+	s := elbo.NewScratch()
+	pb.EvalGradInto(&init, s)
+
+	if allocs := testing.AllocsPerRun(10, func() {
+		pb.EvalGradInto(&init, s)
+	}); allocs != 0 {
+		t.Errorf("EvalGradInto allocates %v objects per run in steady state, want 0", allocs)
+	}
+}
+
 // TestEvalValueWithZeroAllocSteadyState pins the same guarantee for the
 // value-only path the trust-region ratio test calls.
 func TestEvalValueWithZeroAllocSteadyState(t *testing.T) {

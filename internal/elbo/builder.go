@@ -31,6 +31,7 @@ func (b *Builder) Build(priors *model.Priors, images []*survey.Image, pos geom.P
 	pb.Priors = priors
 	pb.PosPenalty = 1 / (1e-3 * 1e-3)
 	pb.PosAnchor = pos
+	pb.PosBound = 0
 	pb.Patches = pb.Patches[:0]
 	used := 0
 	for _, im := range images {
@@ -70,6 +71,11 @@ func (b *Builder) Build(priors *model.Priors, images []*survey.Image, pos geom.P
 			}
 		}
 		pb.Patches = append(pb.Patches, p)
+		// The patches cover radiusPx of sky around the anchor: bound the
+		// fit's position domain to match (see Problem.PosBound).
+		if b := radiusPx * im.WCS.PixScale(); pb.PosBound == 0 || b < pb.PosBound {
+			pb.PosBound = b
+		}
 	}
 	return pb
 }

@@ -1,0 +1,193 @@
+package elbo
+
+import (
+	"math"
+
+	"celeste/internal/dual"
+	"celeste/internal/model"
+	"celeste/internal/sliceutil"
+)
+
+// GradResult is a middle-tier objective evaluation: value and exact gradient
+// but no Hessian. The lazy-Hessian trust region runs its accepted-step
+// bookkeeping on this tier — most of a full evaluation's cost is the Hessian
+// lanes and their per-pixel moment assembly, which this tier skips entirely.
+type GradResult struct {
+	Value  float64
+	Grad   [model.ParamDim]float64
+	Visits int64
+}
+
+// EvalGrad computes the ELBO value and gradient only (no Hessian). It
+// allocates a fresh Scratch per call; hot paths should hold a Scratch and use
+// EvalGradInto instead.
+func (pb *Problem) EvalGrad(theta *model.Params) *GradResult {
+	return pb.EvalGradInto(theta, NewScratch())
+}
+
+// EvalGradInto is the gradient-only evaluation tier: the same culling
+// geometry, row sweeps, and accumulation expressions as EvalInto, with every
+// Hessian-bearing computation removed — SweepRowGrad fills only the value and
+// gradient lanes, the per-pixel consumption loop keeps only the p1/p2 chain,
+// and the brightness-direction block collapses to four scalar moments per
+// patch. Because the surviving expressions are identical to EvalInto's term
+// by term, the returned value and gradient agree with the full tier to well
+// under 1e-12 relative (see TestEvalGradIntoMatchesEvalInto), and the visit
+// counts agree exactly. The returned GradResult is owned by s and valid until
+// the next EvalGradInto with the same scratch; steady-state calls perform
+// zero heap allocations.
+func (pb *Problem) EvalGradInto(theta *model.Params, s *Scratch) *GradResult {
+	res := &s.gres
+	if useScalarRef {
+		// Reference mode: derive the gradient tier from the scalar-reference
+		// full evaluation so differential experiments cover all tiers.
+		r := pb.evalIntoRef(theta, s)
+		res.Value, res.Grad, res.Visits = r.Value, r.Grad, r.Visits
+		return res
+	}
+	res.Value = 0
+	res.Visits = 0
+	for i := range res.Grad {
+		res.Grad[i] = 0
+	}
+
+	// The KL and flux-moment AD subgraphs propagate gradients only on this
+	// tier — their Hessian loops are O(dim²) per operation and the gradient
+	// values are bitwise identical either way.
+	s.bmSpaceT.SetGradOnly(true)
+	s.bmSpace2.SetGradOnly(true)
+	s.klSpaceT.SetGradOnly(true)
+	s.klSpace2.SetGradOnly(true)
+	defer func() {
+		s.bmSpaceT.SetGradOnly(false)
+		s.bmSpace2.SetGradOnly(false)
+		s.klSpaceT.SetGradOnly(false)
+		s.klSpace2.SetGradOnly(false)
+	}()
+
+	bm := s.computeBrightMoments(theta)
+
+	var grad [activeDim]float64
+
+	for _, p := range pb.Patches {
+		srcX, srcY := p.WCS.WorldToPix(pbPos(theta))
+		cx0, cy0, cx1, cy1 := cullRect(p.Rect, srcX, srcY, cullRadiusPx(theta, p))
+		res.Value += p.bgOutside(cx0, cy0, cx1, cy1)
+		if cx0 >= cx1 || cy0 >= cy1 {
+			continue
+		}
+		w := cx1 - cx0
+		res.Visits += int64(w) * int64(cy1-cy0)
+
+		ev := s.buildEvaluator(theta, p)
+		iota := p.Iota
+		b := p.Band
+		av, bv, cv, dv := &bm.A[b], &bm.B[b], &bm.C[b], &bm.D[b]
+		aV, bV := iota*av.Val, iota*bv.Val
+		cV, dV := iota*iota*cv.Val, iota*iota*dv.Val
+
+		lanes := &s.lanes
+		lanes.Resize(w)
+		s.dxs = sliceutil.Grow(s.dxs, w)
+		dxs := s.dxs[:w]
+		for i := range dxs {
+			dxs[i] = float64(cx0+i) - srcX
+		}
+		sv := lanes.StarV
+		sg0, sg1 := lanes.StarGLane(0), lanes.StarGLane(1)
+		gvL := lanes.GalV
+		var gGL [dual.N][]float64
+		for k := 0; k < dual.N; k++ {
+			gGL[k] = lanes.GalGLane(k)
+		}
+
+		// Brightness-direction moments: gradient assembly needs only the four
+		// scalar sums (the vector and second-order moments exist solely for
+		// the Hessian blocks).
+		var p1s, p1g, p2ss, p2gg float64
+		rectW := p.Rect.Width()
+		for y := cy0; y < cy1; y++ {
+			ev.SweepRowGrad(lanes, dxs, float64(y)-srcY)
+			base := (y-p.Rect.Y0)*rectW + (cx0 - p.Rect.X0)
+			obsRow := p.Obs[base : base+w]
+			bgRow := p.Bg[base : base+w]
+			vbgRow := p.VBg[base : base+w]
+
+			for i := 0; i < w; i++ {
+				obs, bg, vbg := obsRow[i], bgRow[i], vbgRow[i]
+				gs, gg := sv[i], gvL[i]
+				gs2v, gg2v := gs*gs, gg*gg
+
+				m := aV*gs + bV*gg
+				e2 := cV*gs2v + dV*gg2v
+				ef := bg + m
+				vf := vbg + e2 - m*m
+				if ef <= 0 {
+					// Cannot happen with positive sky; guard anyway.
+					continue
+				}
+
+				// Pixel objective f = obs·(log EF − VF/(2EF²)) − EF and its
+				// first partials in (m, e2); identical expressions to EvalInto.
+				inv := 1 / ef
+				inv2 := inv * inv
+				inv3 := inv2 * inv
+				res.Value += obs*(math.Log(ef)-vf*inv2/2) - ef
+				p1 := obs*(inv+m*inv2+vf*inv3) - 1
+				p2 := -obs * inv2 / 2
+
+				gsG0, gsG1 := sg0[i], sg1[i]
+				var ggG [dual.N]float64
+				for k := 0; k < dual.N; k++ {
+					ggG[k] = gGL[k][i]
+				}
+
+				// Spatial ∇m, ∇e2 (star gradients vanish past coordinate 1).
+				var gmj, ge2j [6]float64
+				gmj[0] = aV*gsG0 + bV*ggG[0]
+				gmj[1] = aV*gsG1 + bV*ggG[1]
+				ge2j[0] = 2 * (cV*gs*gsG0 + dV*gg*ggG[0])
+				ge2j[1] = 2 * (cV*gs*gsG1 + dV*gg*ggG[1])
+				for k := 2; k < 6; k++ {
+					gmj[k] = bV * ggG[k]
+					ge2j[k] = 2 * dV * gg * ggG[k]
+				}
+				for j := 0; j < 6; j++ {
+					grad[j] += p1*gmj[j] + p2*ge2j[j]
+				}
+
+				p1s += p1 * gs
+				p1g += p1 * gg
+				p2ss += p2 * gs * gs
+				p2gg += p2 * gg * gg
+			}
+		}
+
+		iota2 := iota * iota
+		for li := 0; li < brightDim; li++ {
+			avG, bvG := av.Grad[li], bv.Grad[li]
+			cvG, dvG := cv.Grad[li], dv.Grad[li]
+			grad[6+li] += iota*(avG*p1s+bvG*p1g) + iota2*(cvG*p2ss+dvG*p2gg)
+		}
+	}
+
+	// Scatter the active block, then the KL and anchor terms — the same
+	// subgraphs EvalInto differentiates, so the shared coordinates match it
+	// exactly.
+	for i := 0; i < activeDim; i++ {
+		res.Grad[activeGlobal(i)] += grad[i]
+	}
+	kl := s.computeKL(theta, pb.Priors)
+	res.Value -= kl.Val
+	for l := 0; l < klDim; l++ {
+		res.Grad[klGlobal[l]] -= kl.Grad[l]
+	}
+	if pb.PosPenalty > 0 {
+		dra := theta[model.ParamRA] - pb.PosAnchor.RA
+		ddec := theta[model.ParamDec] - pb.PosAnchor.Dec
+		res.Value -= 0.5 * pb.PosPenalty * (dra*dra + ddec*ddec)
+		res.Grad[model.ParamRA] -= pb.PosPenalty * dra
+		res.Grad[model.ParamDec] -= pb.PosPenalty * ddec
+	}
+	return res
+}

@@ -48,7 +48,7 @@ func (pb *Problem) evalIntoRef(theta *model.Params, s *Scratch) *Result {
 		srcX, srcY := p.WCS.WorldToPix(pbPos(theta))
 		iota := p.Iota
 		b := p.Band
-		av, bv, cv, dv := bm.A[b], bm.B[b], bm.C[b], bm.D[b]
+		av, bv, cv, dv := &bm.A[b], &bm.B[b], &bm.C[b], &bm.D[b]
 		// Fold ι into the moments once per patch.
 		aV, bV := iota*av.Val, iota*bv.Val
 		cV, dV := iota*iota*cv.Val, iota*iota*dv.Val

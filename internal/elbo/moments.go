@@ -43,33 +43,55 @@ var klGlobal = func() [klDim]int {
 	return m
 }()
 
+// bmTDim is the dimension of one type's flux-moment subgraph: r1, r2, and
+// the color means and log-variances.
+const bmTDim = 2 + 2*model.NumColors
+
+// bmNum is one assembled flux moment with derivatives over the brightDim
+// subspace, packed like an ad.Num of that dimension.
+type bmNum struct {
+	Val  float64
+	Grad [brightDim]float64
+	Hess [brightDim * (brightDim + 1) / 2]float64
+}
+
 // brightMoments holds the four per-band flux moments with derivatives in the
 // brightness subspace. A and B are the star/galaxy expected-flux factors
 // (χ_t·E[ℓ_b]); C and D the second-moment factors (χ_t·E[ℓ_b²]). The
 // per-image calibration ι is applied at use time.
 type brightMoments struct {
-	A, B, C, D [model.NumBands]*ad.Num
+	A, B, C, D [model.NumBands]bmNum
 }
 
 // computeBrightMoments differentiates the flux moments with respect to the
-// 22 brightness coordinates at the current parameter values, reusing the
-// scratch's AD arena and slot arrays so steady-state calls allocate nothing.
+// 22 brightness coordinates at the current parameter values. Like computeKL
+// it exploits block separability: each moment is χ_t(a)·E(b_t) with E
+// touching only one type's bmTDim parameters, so E runs in a small AD space
+// (the first bmTDim entries of that type's klTMap — the brightness subspace
+// shares the KL subspace's indexing) and the χ coupling is assembled by
+// hand. Everything draws from the scratch's arenas; steady-state calls
+// allocate nothing, and in gradient-only mode the Hessian assembly is
+// skipped.
 func (s *Scratch) computeBrightMoments(theta *model.Params) *brightMoments {
-	s.bmSpace.Reset()
-	vars := s.bmVars[:]
-	for l := 0; l < brightDim; l++ {
-		vars[l] = s.bmSpace.Var(theta[brightGlobal[l]], l)
-	}
-	chi := ad.SoftmaxInto(s.bmChi[:], vars[0:2]) // [star, gal]
+	gradOnly := s.bmSpaceT.GradOnly()
+
+	s.bmSpace2.Reset()
+	s.bmA[0] = s.bmSpace2.Var(theta[model.ParamTypeStar], 0)
+	s.bmA[1] = s.bmSpace2.Var(theta[model.ParamTypeGal], 1)
+	chi := ad.SoftmaxInto(s.bmChi[:], s.bmA[:]) // [star, gal]
 
 	bm := &s.bm
+	st := s.bmSpaceT
 	for t := 0; t < model.NumTypes; t++ {
-		r1 := vars[2+t]
-		r2 := ad.Exp(vars[4+t])
-		c1 := vars[6+4*t : 6+4*t+4]
+		st.Reset()
+		idx := klTMap[t][:bmTDim] // r1, r2, c1[..], c2[..] subspace indices
+		r1 := st.Var(theta[model.ParamR1+t], 0)
+		r2 := ad.Exp(st.Var(theta[model.ParamR2+t], 1))
+		c1 := s.bmC1[:]
 		c2 := s.bmC2[:]
 		for i := 0; i < model.NumColors; i++ {
-			c2[i] = ad.Exp(vars[14+4*t+i])
+			c1[i] = st.Var(theta[model.ParamC1+4*t+i], 2+i)
+			c2[i] = ad.Exp(st.Var(theta[model.ParamC2+4*t+i], 2+model.NumColors+i))
 		}
 		for b := 0; b < model.NumBands; b++ {
 			m := r1
@@ -85,53 +107,166 @@ func (s *Scratch) computeBrightMoments(theta *model.Params) *brightMoments {
 			el := ad.Exp(ad.Add(m, ad.Scale(0.5, v)))
 			el2 := ad.Exp(ad.Add(ad.Scale(2, m), ad.Scale(2, v)))
 			if t == model.Star {
-				bm.A[b] = ad.Mul(chi[0], el)
-				bm.C[b] = ad.Mul(chi[0], el2)
+				assembleBM(&bm.A[b], chi[0], el, idx, gradOnly)
+				assembleBM(&bm.C[b], chi[0], el2, idx, gradOnly)
 			} else {
-				bm.B[b] = ad.Mul(chi[1], el)
-				bm.D[b] = ad.Mul(chi[1], el2)
+				assembleBM(&bm.B[b], chi[1], el, idx, gradOnly)
+				assembleBM(&bm.D[b], chi[1], el2, idx, gradOnly)
 			}
 		}
 	}
 	return bm
 }
 
+// assembleBM fills out with the product w(a)·inner(b) by the same
+// hand-assembled chain rule computeKL uses: the two subgraphs (the 2-dim
+// type weight and one type's bmTDim flux subgraph) meet only through the
+// scalar product. idx maps inner's variable indices to brightness-subspace
+// indices; every entry outside the touched blocks is exactly zero, matching
+// what the dense 22-dim graph used to propagate.
+func assembleBM(out *bmNum, w, inner *ad.Num, idx []int, gradOnly bool) {
+	out.Val = w.Val * inner.Val
+	for i := range out.Grad {
+		out.Grad[i] = 0
+	}
+	out.Grad[0] = inner.Val * w.Grad[0]
+	out.Grad[1] = inner.Val * w.Grad[1]
+	for k, kg := range idx {
+		out.Grad[kg] = w.Val * inner.Grad[k]
+	}
+	if gradOnly {
+		return
+	}
+	for i := range out.Hess {
+		out.Hess[i] = 0
+	}
+	out.Hess[0] = inner.Val * w.Hess[0]
+	out.Hess[1] = inner.Val * w.Hess[1]
+	out.Hess[2] = inner.Val * w.Hess[2]
+	for k, kg := range idx {
+		base := kg * (kg + 1) / 2
+		row := out.Hess[base:]
+		gk := inner.Grad[k]
+		row[0] = w.Grad[0] * gk
+		row[1] = w.Grad[1] * gk
+		hb := k * (k + 1) / 2
+		for l := 0; l <= k; l++ {
+			row[idx[l]] = w.Val * inner.Hess[hb+l]
+		}
+	}
+}
+
+// klTDim is the dimension of one type's KL subgraph: r1, r2, four color
+// means, four color log-variances, and the responsibility logits.
+const klTDim = 2 + 2*model.NumColors + model.NumPriorComps
+
+// klTMap maps a type's subgraph variable indices to KL-subspace indices
+// (global−6): [r1, r2, c1[0..3], c2[0..3], k[0..7]].
+var klTMap = func() [model.NumTypes][klTDim]int {
+	var m [model.NumTypes][klTDim]int
+	for t := 0; t < model.NumTypes; t++ {
+		m[t][0] = model.ParamR1 + t - 6
+		m[t][1] = model.ParamR2 + t - 6
+		for i := 0; i < model.NumColors; i++ {
+			m[t][2+i] = model.ParamC1 + 4*t + i - 6
+			m[t][2+model.NumColors+i] = model.ParamC2 + 4*t + i - 6
+		}
+		for d := 0; d < model.NumPriorComps; d++ {
+			m[t][2+2*model.NumColors+d] = model.ParamK + model.NumPriorComps*t + d - 6
+		}
+	}
+	return m
+}()
+
+// klResult is the KL total with derivatives over the klDim subspace, packed
+// like an ad.Num of that dimension (lower-triangle Hessian).
+type klResult struct {
+	Val  float64
+	Grad [klDim]float64
+	Hess [klDim * (klDim + 1) / 2]float64
+}
+
 // computeKL returns the total KL divergence from the priors with derivatives
 // in the KL subspace (global indices 6..43):
 //
-//	KL(q(a)||p(a)) + Σ_t q(a=t)·[KL_r(t) + KL_k(t) + Σ_d q(k=d)·KL_c(t,d)]
+//	KL(q(a)||p(a)) + Σ_t (q(a=t)+ε)·[KL_r(t) + KL_k(t) + Σ_d q(k=d)·KL_c(t,d)]
 //
-// Like computeBrightMoments, it draws every intermediate from the scratch's
-// KL arena, so steady-state calls allocate nothing.
-func (sc *Scratch) computeKL(theta *model.Params, priors *model.Priors) *ad.Num {
-	s := sc.klSpace
-	s.Reset()
-	vars := sc.klVars[:]
-	for l := 0; l < klDim; l++ {
-		vars[l] = s.Var(theta[klGlobal[l]], l)
+// The KL is block-separable: each type's inner term touches only that type's
+// klTDim parameters, coupled to the rest solely through the scalar weight
+// w_t = q(a=t)+ε. So instead of differentiating one graph over all klDim
+// coordinates — whose O(klDim²)-per-operation Hessians used to dominate the
+// whole evaluation's fixed cost — the inner terms run in a klTDim-dimensional
+// space, the type weights in a 2-dimensional one, and the chain rule
+//
+//	∇²(w·inner) = w·∇²inner + ∇w⊗∇inner + inner·∇²w
+//
+// is assembled by hand into the packed klDim result. Every intermediate
+// comes from the scratch's arenas, so steady-state calls allocate nothing;
+// when the scratch's KL spaces are in gradient-only mode the Hessian
+// assembly is skipped entirely.
+func (sc *Scratch) computeKL(theta *model.Params, priors *model.Priors) *klResult {
+	out := &sc.klOut
+	gradOnly := sc.klSpaceT.GradOnly()
+	out.Val = 0
+	for i := range out.Grad {
+		out.Grad[i] = 0
 	}
-	at := func(global int) *ad.Num { return vars[global-6] }
-
-	chi := ad.SoftmaxInto(sc.klChi[:], vars[model.ParamTypeStar-6:model.ParamTypeGal-6+1])
-	priorChi := [2]float64{1 - priors.ProbGal, priors.ProbGal}
-
-	// KL of the type indicator.
-	var total *ad.Num
-	for t := 0; t < model.NumTypes; t++ {
-		term := ad.Mul(chi[t], ad.Sub(ad.Log(chi[t]),
-			s.Const(logc(priorChi[t]))))
-		if total == nil {
-			total = term
-		} else {
-			total = ad.Add(total, term)
+	if !gradOnly {
+		for i := range out.Hess {
+			out.Hess[i] = 0
 		}
 	}
 
+	// Type-indicator subgraph (dimension 2): softmax weights, their KL
+	// against the prior, and the floored inner weights w_t.
+	s2 := sc.klSpace2
+	s2.Reset()
+	sc.klA[0] = s2.Var(theta[model.ParamTypeStar], 0)
+	sc.klA[1] = s2.Var(theta[model.ParamTypeGal], 1)
+	chi := ad.SoftmaxInto(sc.klChi[:], sc.klA[:])
+	priorChi := [2]float64{1 - priors.ProbGal, priors.ProbGal}
+	var typeKL *ad.Num
 	for t := 0; t < model.NumTypes; t++ {
+		term := ad.Mul(chi[t], ad.Sub(ad.Log(chi[t]),
+			s2.Const(logc(priorChi[t]))))
+		if typeKL == nil {
+			typeKL = term
+		} else {
+			typeKL = ad.Add(typeKL, term)
+		}
+	}
+	out.Val = typeKL.Val
+	out.Grad[0] = typeKL.Grad[0]
+	out.Grad[1] = typeKL.Grad[1]
+	if !gradOnly {
+		// KL-subspace indices 0 and 1 are the chi logits, so the 2-dim
+		// packed triangle maps to packed entries 0..2 verbatim.
+		out.Hess[0] = typeKL.Hess[0]
+		out.Hess[1] = typeKL.Hess[1]
+		out.Hess[2] = typeKL.Hess[2]
+	}
+
+	st := sc.klSpaceT
+	for t := 0; t < model.NumTypes; t++ {
+		// The type-conditional KL is weighted by q(a=t) with a small floor:
+		// when one type's probability collapses, its brightness and color
+		// parameters would otherwise be untethered (zero gradient from both
+		// likelihood and KL) and could freeze at arbitrary values that later
+		// poison mixture summaries. The floor keeps them anchored to the
+		// prior at negligible cost to the bound.
+		w := ad.AddConst(chi[t], klWeightFloor)
+
+		st.Reset()
+		idx := &klTMap[t]
+		vars := sc.klTVars[:]
+		for k := 0; k < klTDim; k++ {
+			vars[k] = st.Var(theta[6+idx[k]], k)
+		}
+
 		// KL of the log-normal brightness against the log-normal prior
 		// (normal KL on the log scale).
-		r1 := at(model.ParamR1 + t)
-		r2 := ad.Exp(at(model.ParamR2 + t))
+		r1 := vars[0]
+		r2 := ad.Exp(vars[1])
 		pm := priors.R1Mean[t]
 		pv := priors.R1SD[t] * priors.R1SD[t]
 		d := ad.AddConst(r1, -pm)
@@ -139,14 +274,13 @@ func (sc *Scratch) computeKL(theta *model.Params, priors *model.Priors) *ad.Num 
 			ad.Scale(1/pv, ad.Add(r2, ad.Sqr(d))),
 			ad.AddConst(ad.Neg(ad.Log(ad.Scale(1/pv, r2))), -1)))
 
-		// Categorical responsibilities against the prior mixture weights
-		// (their logits are contiguous in the parameter vector).
-		klogits := vars[model.ParamK-6+model.NumPriorComps*t : model.ParamK-6+model.NumPriorComps*(t+1)]
+		// Categorical responsibilities against the prior mixture weights.
+		klogits := vars[2+2*model.NumColors : 2+2*model.NumColors+model.NumPriorComps]
 		k := ad.SoftmaxInto(sc.klK[:], klogits)
 		var klK *ad.Num
 		for dd := 0; dd < model.NumPriorComps; dd++ {
 			term := ad.Mul(k[dd], ad.Sub(ad.Log(k[dd]),
-				s.Const(logc(priors.KWeight[t][dd]))))
+				st.Const(logc(priors.KWeight[t][dd]))))
 			if klK == nil {
 				klK = term
 			} else {
@@ -160,8 +294,8 @@ func (sc *Scratch) computeKL(theta *model.Params, priors *model.Priors) *ad.Num 
 		for dd := 0; dd < model.NumPriorComps; dd++ {
 			var comp *ad.Num
 			for i := 0; i < model.NumColors; i++ {
-				c1 := at(model.ParamC1 + 4*t + i)
-				c2 := ad.Exp(at(model.ParamC2 + 4*t + i))
+				c1 := vars[2+i]
+				c2 := ad.Exp(vars[2+model.NumColors+i])
 				pmc := priors.CMean[t][dd][i]
 				pvc := priors.CVar[t][dd][i]
 				dc := ad.AddConst(c1, -pmc)
@@ -183,15 +317,35 @@ func (sc *Scratch) computeKL(theta *model.Params, priors *model.Priors) *ad.Num 
 		}
 
 		inner := ad.Add(ad.Add(klR, klK), klC)
-		// The type-conditional KL is weighted by q(a=t) with a small floor:
-		// when one type's probability collapses, its brightness and color
-		// parameters would otherwise be untethered (zero gradient from both
-		// likelihood and KL) and could freeze at arbitrary values that later
-		// poison mixture summaries. The floor keeps them anchored to the
-		// prior at negligible cost to the bound.
-		total = ad.Add(total, ad.Mul(ad.AddConst(chi[t], klWeightFloor), inner))
+
+		// Hand-assembled chain rule for w(a)·inner(b): the two subgraphs
+		// meet only through the scalar weight.
+		out.Val += w.Val * inner.Val
+		out.Grad[0] += inner.Val * w.Grad[0]
+		out.Grad[1] += inner.Val * w.Grad[1]
+		for kk := 0; kk < klTDim; kk++ {
+			out.Grad[idx[kk]] += w.Val * inner.Grad[kk]
+		}
+		if gradOnly {
+			continue
+		}
+		out.Hess[0] += inner.Val * w.Hess[0]
+		out.Hess[1] += inner.Val * w.Hess[1]
+		out.Hess[2] += inner.Val * w.Hess[2]
+		for kk := 0; kk < klTDim; kk++ {
+			kg := idx[kk]
+			base := kg * (kg + 1) / 2
+			row := out.Hess[base:]
+			gk := inner.Grad[kk]
+			row[0] += w.Grad[0] * gk
+			row[1] += w.Grad[1] * gk
+			hb := kk * (kk + 1) / 2
+			for ll := 0; ll <= kk; ll++ {
+				row[idx[ll]] += w.Val * inner.Hess[hb+ll]
+			}
+		}
 	}
-	return total
+	return out
 }
 
 // klWeightFloor anchors the unused source type's parameters to the prior.

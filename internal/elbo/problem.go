@@ -125,6 +125,25 @@ type Problem struct {
 	// prior would; with any real signal it is negligible.
 	PosPenalty float64
 	PosAnchor  geom.Pt2
+
+	// PosBound is the fit's position domain half-width in degrees around
+	// PosAnchor (0 disables the bound). The patches only cover this much
+	// sky around the anchor, so an iterate beyond it has no pixel support:
+	// the likelihood gradient vanishes and a fit could "converge" in empty
+	// space against nothing but the weak anchor. The optimizer treats
+	// out-of-bounds trial points as +Inf (see InBounds), making the patch
+	// window an explicit trust-region domain constraint.
+	PosBound float64
+}
+
+// InBounds reports whether theta's position lies within the problem's
+// position domain (always true when PosBound is 0).
+func (pb *Problem) InBounds(theta *model.Params) bool {
+	if pb.PosBound <= 0 {
+		return true
+	}
+	return math.Abs(theta[model.ParamRA]-pb.PosAnchor.RA) <= pb.PosBound &&
+		math.Abs(theta[model.ParamDec]-pb.PosAnchor.Dec) <= pb.PosBound
 }
 
 // NewProblem assembles a Problem from survey images: for each image whose

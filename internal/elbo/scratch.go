@@ -15,21 +15,32 @@ import (
 // allocations. A Cyclades worker owns one Scratch for its whole sweep.
 type Scratch struct {
 	res        Result
+	gres       GradResult  // gradient-tier result (EvalGradInto)
 	activeHess *linalg.Mat // activeDim x activeDim, lower triangle
 	ev         mog.Evaluator
 
-	// Brightness-moment AD subgraph (dimension brightDim).
-	bmSpace *ad.Space
-	bmVars  [brightDim]*ad.Num
-	bmChi   [2]*ad.Num
-	bmC2    [model.NumColors]*ad.Num
-	bm      brightMoments
+	// Brightness-moment AD subgraphs: a bmTDim-dimensional space for the
+	// per-type flux subgraphs and a 2-dimensional one for the type weights,
+	// assembled by hand into bm (see computeBrightMoments).
+	bmSpaceT *ad.Space
+	bmSpace2 *ad.Space
+	bmA      [2]*ad.Num
+	bmChi    [2]*ad.Num
+	bmC1     [model.NumColors]*ad.Num
+	bmC2     [model.NumColors]*ad.Num
+	bm       brightMoments
 
-	// KL AD subgraph (dimension klDim).
-	klSpace *ad.Space
-	klVars  [klDim]*ad.Num
-	klChi   [2]*ad.Num
-	klK     [model.NumPriorComps]*ad.Num
+	// KL AD subgraphs: one klTDim-dimensional space per-type inner terms
+	// run in (sequentially, reset between types), a 2-dimensional space for
+	// the type-indicator weights, and the packed klDim-dimensional output
+	// the hand-assembled chain rule fills (see computeKL).
+	klSpaceT *ad.Space
+	klSpace2 *ad.Space
+	klTVars  [klTDim]*ad.Num
+	klA      [2]*ad.Num
+	klChi    [2]*ad.Num
+	klK      [model.NumPriorComps]*ad.Num
+	klOut    klResult
 
 	// Value-only path buffers.
 	comb   []mog.ProfComp
@@ -50,8 +61,10 @@ func NewScratch() *Scratch {
 	return &Scratch{
 		res:        Result{Hess: linalg.NewMat(model.ParamDim, model.ParamDim)},
 		activeHess: linalg.NewMat(activeDim, activeDim),
-		bmSpace:    ad.NewSpace(brightDim),
-		klSpace:    ad.NewSpace(klDim),
+		bmSpaceT:   ad.NewSpace(bmTDim),
+		bmSpace2:   ad.NewSpace(2),
+		klSpaceT:   ad.NewSpace(klTDim),
+		klSpace2:   ad.NewSpace(2),
 	}
 }
 

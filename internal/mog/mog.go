@@ -197,6 +197,9 @@ type ValueComp struct {
 	// EStep is exp(-Q11), the constant second-difference ratio of the
 	// row-sweep exponential recurrence (see rowkernel.go).
 	EStep float64
+
+	// Geom holds the hoisted row-interval constants (see rowkernel.go).
+	Geom rowGeom
 }
 
 // CompileInto appends m's components in compiled form to dst and returns it;
@@ -205,14 +208,16 @@ func CompileInto(dst []ValueComp, m Mixture) []ValueComp {
 	for _, c := range m {
 		det := c.Sxx*c.Syy - c.Sxy*c.Sxy
 		inv := 1 / det
-		dst = append(dst, ValueComp{
+		vc := ValueComp{
 			K:   c.Weight / (2 * math.Pi * math.Sqrt(det)),
 			Q11: c.Syy * inv,
 			Q12: -c.Sxy * inv,
 			Q22: c.Sxx * inv,
 			MuX: c.MuX, MuY: c.MuY,
 			EStep: math.Exp(-c.Syy * inv),
-		})
+		}
+		vc.Geom.set(vc.Q11, vc.Q12, vc.Q22)
+		dst = append(dst, vc)
 	}
 	return dst
 }
@@ -245,6 +250,9 @@ type DualComp struct {
 	// EStep is exp(-Q11.V), the constant second-difference ratio of the
 	// row-sweep exponential recurrence (see rowkernel.go).
 	EStep float64
+
+	// Geom holds the hoisted row-interval constants (see rowkernel.go).
+	Geom rowGeom
 }
 
 // Evaluator evaluates a source's star and galaxy spatial densities at pixel
@@ -326,14 +334,16 @@ func (e *Evaluator) Build(psf Mixture, expProf, devProf []ProfComp,
 				invDet := dual.Recip(det)
 				wt := dual.Scale(pc.Weight*pk.Weight/(2*math.Pi), mix)
 				q11 := dual.Mul(s22, invDet)
-				e.Gal = append(e.Gal, DualComp{
+				dc := DualComp{
 					K:   dual.Mul(wt, dual.Recip(dual.Sqrt(det))),
 					Q11: q11,
 					Q12: dual.Neg(dual.Mul(s12, invDet)),
 					Q22: dual.Mul(s11, invDet),
 					MuX: pk.MuX, MuY: pk.MuY,
 					EStep: math.Exp(-q11.V),
-				})
+				}
+				dc.Geom.set(dc.Q11.V, dc.Q12.V, dc.Q22.V)
+				e.Gal = append(e.Gal, dc)
 			}
 		}
 	}
@@ -350,14 +360,16 @@ func starCompsInto(dst []DualComp, psf Mixture) []DualComp {
 	for _, c := range psf {
 		det := c.Sxx*c.Syy - c.Sxy*c.Sxy
 		inv := 1 / det
-		dst = append(dst, DualComp{
+		dc := DualComp{
 			K:   dual.Const(c.Weight / (2 * math.Pi * math.Sqrt(det))),
 			Q11: dual.Const(c.Syy * inv),
 			Q12: dual.Const(-c.Sxy * inv),
 			Q22: dual.Const(c.Sxx * inv),
 			MuX: c.MuX, MuY: c.MuY,
 			EStep: math.Exp(-c.Syy * inv),
-		})
+		}
+		dc.Geom.set(dc.Q11.V, dc.Q12.V, dc.Q22.V)
+		dst = append(dst, dc)
 	}
 	return dst
 }

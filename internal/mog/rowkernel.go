@@ -89,21 +89,38 @@ func (l *RowLanes) GalGLane(k int) []float64 { return l.GalG[k*l.w : (k+1)*l.w] 
 // GalHLane returns the galaxy Hessian lane for packed index k.
 func (l *RowLanes) GalHLane(k int) []float64 { return l.GalH[k*l.w : (k+1)*l.w] }
 
+// rowGeom holds the per-component constants of the row-interval computation,
+// hoisted out of the per-row path: Q12OverQ11 = q12/q11, QminCoef =
+// q22 − q12²/q11 (the Schur complement, i.e. the effective row-direction
+// precision), and InvQ11 = 1/q11. Division-free rowInterval calls save two
+// divides per (component, row) across every sweep tier.
+type rowGeom struct {
+	Q12OverQ11, QminCoef, InvQ11 float64
+}
+
+// set precomputes the constants for precision entries (q11, q12, q22).
+func (g *rowGeom) set(q11, q12, q22 float64) {
+	g.Q12OverQ11 = q12 / q11
+	g.QminCoef = q22 - q12*q12/q11
+	g.InvQ11 = 1 / q11
+}
+
 // rowInterval returns the inclusive index range [i0, i1] of dxs whose pixels
-// can satisfy q <= qCutoff for a component with precision (q11, q12, q22),
-// x-mean mux, and fixed y-offset d2. The interval is widened conservatively
-// (analytic margin plus one pixel per side) so it can only over-include; the
-// per-pixel cutoff test keeps truncation decisions exact. ok is false when
-// the whole row is out of reach. dxs must be unit-spaced ascending.
-func rowInterval(dxs []float64, q11, q12, q22, mux, d2 float64) (i0, i1 int, ok bool) {
+// can satisfy q <= qCutoff for a component with precision q11 (and hoisted
+// geometry g), x-mean mux, and fixed y-offset d2. The interval is widened
+// conservatively (analytic margin plus one pixel per side) so it can only
+// over-include; the per-pixel cutoff test keeps truncation decisions exact.
+// ok is false when the whole row is out of reach. dxs must be unit-spaced
+// ascending.
+func rowInterval(dxs []float64, q11 float64, g *rowGeom, mux, d2 float64) (i0, i1 int, ok bool) {
 	// q(d1) = q11*d1^2 + 2*q12*d1*d2 + q22*d2^2: vertex and minimum.
-	d1c := -q12 * d2 / q11
-	qmin := (q22 - q12*q12/q11) * d2 * d2
+	d1c := -g.Q12OverQ11 * d2
+	qmin := g.QminCoef * d2 * d2
 	rem := qCutoff + 1e-9*(1+math.Abs(qmin)) - qmin
 	if rem < 0 || q11 <= 0 {
 		return 0, 0, false
 	}
-	h := math.Sqrt(rem/q11) + 1e-6
+	h := math.Sqrt(rem*g.InvQ11) + 1e-6
 	lo := d1c - h + mux
 	hi := d1c + h + mux
 	w := len(dxs)
@@ -169,7 +186,7 @@ func (e *Evaluator) sweepStar(l *RowLanes, dxs []float64, dy float64) {
 		q11, q12, q22 := c.Q11.V, c.Q12.V, c.Q22.V
 		d2 := dy - c.MuY
 		s22 := d2 * d2
-		i0, i1, ok := rowInterval(dxs, q11, q12, q22, c.MuX, d2)
+		i0, i1, ok := rowInterval(dxs, q11, &c.Geom, c.MuX, d2)
 		if !ok {
 			continue
 		}
@@ -257,7 +274,7 @@ func (e *Evaluator) sweepGal(l *RowLanes, dxs []float64, dy float64) {
 		q11, q12, q22 := c.Q11.V, c.Q12.V, c.Q22.V
 		d2 := dy - c.MuY
 		s22 := d2 * d2
-		i0, i1, ok := rowInterval(dxs, q11, q12, q22, c.MuX, d2)
+		i0, i1, ok := rowInterval(dxs, q11, &c.Geom, c.MuX, d2)
 		if !ok {
 			continue
 		}
@@ -283,7 +300,6 @@ func (e *Evaluator) sweepGal(l *RowLanes, dxs []float64, dy float64) {
 				m2[h] = -kv * c.Q12.H[h]
 			}
 		}
-
 		var ev, rr float64
 		n := 0
 		for i := i0; i <= i1; i++ {
@@ -348,7 +364,7 @@ func SweepRowValue(dst []float64, comps []ValueComp, dxs []float64, dy float64) 
 	for ci := range comps {
 		c := &comps[ci]
 		d2 := dy - c.MuY
-		i0, i1, ok := rowInterval(dxs, c.Q11, c.Q12, c.Q22, c.MuX, d2)
+		i0, i1, ok := rowInterval(dxs, c.Q11, &c.Geom, c.MuX, d2)
 		if !ok {
 			continue
 		}

@@ -6,6 +6,7 @@
 package vi
 
 import (
+	"math"
 	"time"
 
 	"celeste/internal/elbo"
@@ -14,10 +15,25 @@ import (
 	"celeste/internal/opt"
 )
 
+// DefaultGradTol is the default infinity-norm gradient tolerance of a fit;
+// core's cross-sweep tolerance ladder scales from it.
+const DefaultGradTol = 1e-6
+
 // Options configures a per-source fit.
 type Options struct {
 	MaxIter int     // Newton iterations (default 60)
 	GradTol float64 // infinity-norm gradient tolerance (default 1e-6)
+
+	// EagerHessian disables the lazy-Hessian trust region and re-evaluates
+	// the full tier (value+gradient+Hessian) at every accepted step, the
+	// pre-three-tier behavior. It exists for ablations and differential
+	// tests; the lazy default is strictly cheaper on the fixture workloads.
+	EagerHessian bool
+
+	// InitRadius overrides the initial trust radius (0 keeps the default
+	// 0.5). Cross-sweep warm starts pass the previous sweep's converged
+	// radius so a re-fit skips the radius walk-down.
+	InitRadius float64
 }
 
 func (o *Options) defaults() {
@@ -25,7 +41,10 @@ func (o *Options) defaults() {
 		o.MaxIter = 60
 	}
 	if o.GradTol == 0 {
-		o.GradTol = 1e-6
+		o.GradTol = DefaultGradTol
+	}
+	if o.InitRadius == 0 {
+		o.InitRadius = 0.5
 	}
 }
 
@@ -35,10 +54,15 @@ type FitResult struct {
 	ELBO      float64
 	Iters     int
 	FullEvals int
+	GradEvals int // gradient-tier evaluations (lazy-Hessian iterations)
 	ValEvals  int
 	Visits    int64 // active pixel visits (FLOP accounting)
 	Converged bool
 	Status    string
+
+	// FinalRadius is the trust radius at termination — the warm-start hint
+	// core's cross-sweep cache feeds back into the next sweep's InitRadius.
+	FinalRadius float64
 
 	// Wall-clock attribution, for the Section VII-A per-thread breakdown:
 	// time inside objective evaluations (value+derivatives) versus the
@@ -55,9 +79,10 @@ type FitResult struct {
 // what lets a Cyclades worker sweep thousands of sources without touching
 // the garbage collector.
 type Scratch struct {
-	es *elbo.Scratch
-	ws *opt.Workspace
-	g  []float64
+	es    *elbo.Scratch
+	ws    *opt.Workspace
+	g     []float64
+	scale [model.ParamDim]float64
 
 	// Per-fit state while a FitWith call is running.
 	pb      *elbo.Problem
@@ -94,14 +119,52 @@ func (s *Scratch) Full(x []float64) (float64, []float64, *linalg.Mat) {
 	return -r.Value, s.g, h
 }
 
-// Value implements opt.Objective: the negated ELBO value only.
+// Grad implements opt.Objective: the negated ELBO with gradient but no
+// Hessian — the middle evaluation tier lazy-Hessian iterations run on. The
+// returned slice is scratch-owned and valid until the next call.
+func (s *Scratch) Grad(x []float64) (float64, []float64) {
+	copy(s.theta[:], x)
+	t0 := time.Now()
+	r := s.pb.EvalGradInto(&s.theta, s.es)
+	s.evalSec += time.Since(t0).Seconds()
+	s.visits += r.Visits
+	for i := range s.g {
+		s.g[i] = -r.Grad[i]
+	}
+	return -r.Value, s.g
+}
+
+// Value implements opt.Objective: the negated ELBO value only. Trial points
+// outside the problem's position domain evaluate to +Inf — beyond the patch
+// window the likelihood gradient vanishes, and without the barrier a fit
+// could wander out of its own pixel support and "converge" in empty sky
+// (the trust region rejects the step and shrinks instead).
 func (s *Scratch) Value(x []float64) float64 {
 	copy(s.theta[:], x)
+	if !s.pb.InBounds(&s.theta) {
+		return math.Inf(1)
+	}
 	t0 := time.Now()
 	v, vis := s.pb.EvalValueWith(&s.theta, s.es)
 	s.evalSec += time.Since(t0).Seconds()
 	s.visits += vis
 	return -v
+}
+
+// scaleFor builds the trust-region coordinate scaling for a problem: unit
+// for every parameter except the two position coordinates, which are scaled
+// from degrees to pixels using the first patch's WCS.
+func (s *Scratch) scaleFor(pb *elbo.Problem) []float64 {
+	for i := range s.scale {
+		s.scale[i] = 1
+	}
+	if len(pb.Patches) > 0 {
+		if ps := pb.Patches[0].WCS.PixScale(); ps > 0 {
+			s.scale[model.ParamRA] = 1 / ps
+			s.scale[model.ParamDec] = 1 / ps
+		}
+	}
+	return s.scale[:]
 }
 
 // Fit maximizes the problem's ELBO from the given initialization with
@@ -116,6 +179,12 @@ func Fit(pb *elbo.Problem, init model.Params, o Options) FitResult {
 // FitWith is Fit evaluating and optimizing entirely inside s's buffers.
 func FitWith(pb *elbo.Problem, init model.Params, o Options, s *Scratch) FitResult {
 	o.defaults()
+	if !pb.InBounds(&init) {
+		// An infeasible start would put the whole domain barrier between
+		// the iterate and the data; fail loudly instead of letting the
+		// optimizer wander against +Inf walls.
+		return FitResult{Params: init, Status: "initial position outside the problem's domain"}
+	}
 	s.pb = pb
 	s.visits = 0
 	s.evalSec = 0
@@ -127,8 +196,23 @@ func FitWith(pb *elbo.Problem, init model.Params, o Options, s *Scratch) FitResu
 		// Parameters mix degree-scale positions with O(1) logits; a modest
 		// initial radius keeps the first steps honest, and the cap keeps
 		// trial points out of exp-overflow territory.
-		InitRadius: 0.5,
-		MaxRadius:  32,
+		InitRadius:  o.InitRadius,
+		MaxRadius:   32,
+		LazyHessian: !o.EagerHessian,
+		// Pin the radius-collapse refresh trigger to the nominal fit scale:
+		// the opt default (InitRadius/16) would inflate with a warm-start
+		// radius and force eager refreshes on exactly the warm re-fits the
+		// lazy tier should make cheap.
+		HessRefreshRadius: 0.5 / 16,
+		// Elliptical trust region: position coordinates scaled to pixels, so
+		// the radius bounds position motion in pixels rather than degrees —
+		// one radius-0.5 step can move a source half a pixel, not half a
+		// degree. An exact Hessian makes the spherical region safe (the
+		// ~1e11 deg⁻² position curvature keeps Newton steps tiny), but a
+		// stale lazy model that underestimates that curvature could other-
+		// wise jump a faint source across a likelihood barrier onto a
+		// brighter neighbor.
+		Scale: s.scaleFor(pb),
 	})
 	s.pb = nil // release the problem for the GC between fits
 
@@ -137,10 +221,12 @@ func FitWith(pb *elbo.Problem, init model.Params, o Options, s *Scratch) FitResu
 	out.ELBO = -res.F
 	out.Iters = res.Iters
 	out.FullEvals = res.FullEvals
+	out.GradEvals = res.GradEvals
 	out.ValEvals = res.ValEvals
 	out.Visits = s.visits
 	out.Converged = res.Converged
 	out.Status = res.Status
+	out.FinalRadius = res.Radius
 	out.EvalSeconds = s.evalSec
 	out.TotalSeconds = time.Since(start).Seconds()
 	return out
@@ -151,17 +237,29 @@ func FitWith(pb *elbo.Problem, init model.Params, o Options, s *Scratch) FitResu
 // Newton needs tens (Section IV-D); the ablation benchmark regenerates that
 // comparison.
 func FitLBFGS(pb *elbo.Problem, init model.Params, maxIter int) FitResult {
+	if !pb.InBounds(&init) {
+		return FitResult{Params: init, Status: "initial position outside the problem's domain"}
+	}
 	var visits int64
+	// One scratch and one gradient buffer for the whole run: opt.LBFGS reads
+	// the returned gradient only until the next fg call, so the closure can
+	// negate into the same slice every evaluation instead of allocating a
+	// fresh one (which used to churn the GC for the ablation's up-to-2000
+	// iterations).
+	es := elbo.NewScratch()
+	var g [model.ParamDim]float64
 	fg := func(x []float64) (float64, []float64) {
 		var p model.Params
 		copy(p[:], x)
-		r := pb.Eval(&p)
+		if !pb.InBounds(&p) {
+			return math.Inf(1), g[:]
+		}
+		r := pb.EvalInto(&p, es)
 		visits += r.Visits
-		g := make([]float64, model.ParamDim)
 		for i := range g {
 			g[i] = -r.Grad[i]
 		}
-		return -r.Value, g
+		return -r.Value, g[:]
 	}
 	if maxIter == 0 {
 		maxIter = 2000
