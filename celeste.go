@@ -141,6 +141,10 @@ type InferResult struct {
 	TasksProcessed int
 	// FailedRanks and RequeuedTasks record injected-fault recovery.
 	FailedRanks, RequeuedTasks int
+	// JoinedRanks, LeftRanks, and StolenTasks record elastic membership on
+	// the TCP runtime: workers admitted mid-run, graceful departures (not
+	// failures), and tasks moved between rank pools by stealing.
+	JoinedRanks, LeftRanks, StolenTasks int
 }
 
 // InferOptions controls fault tolerance for InferWithOptions.
@@ -224,6 +228,9 @@ func InferWithOptions(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig,
 		TasksProcessed: run.TasksProcessed,
 		FailedRanks:    run.FailedRanks,
 		RequeuedTasks:  run.RequeuedTasks,
+		JoinedRanks:    run.JoinedRanks,
+		LeftRanks:      run.LeftRanks,
+		StolenTasks:    run.StolenTasks,
 	}, err
 }
 

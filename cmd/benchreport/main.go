@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
@@ -61,15 +62,48 @@ type report struct {
 // the PR-4 full-tier cost (5.65 ms): before the gradient tier existed, a
 // gradient cost a full evaluation, so the regression gate for the new tier
 // binds against that provenance.
+// The elbo_evalvalue and core_process references are the PR-3 numbers from
+// the EXPERIMENTS.md trajectory table — the first PR where both lanes
+// existed — pinned so the gate binds for every recorded lane (they were
+// recorded but ungated before).
 var seedReference = map[string]entry{
-	"elbo_eval":     {NsPerOp: 54713155, AllocsPerOp: 3689, BytesPerOp: 7546332, VisitsPerSec: 56802},
-	"elbo_evalgrad": {NsPerOp: 5654427, AllocsPerOp: 0, BytesPerOp: 0, VisitsPerSec: 552664},
-	"vi_fit":        {NsPerOp: 1018010810, AllocsPerOp: 74491, BytesPerOp: 151363660, VisitsPerSec: 135067},
+	"elbo_eval":      {NsPerOp: 54713155, AllocsPerOp: 3689, BytesPerOp: 7546332, VisitsPerSec: 56802},
+	"elbo_evalgrad":  {NsPerOp: 5654427, AllocsPerOp: 0, BytesPerOp: 0, VisitsPerSec: 552664},
+	"elbo_evalvalue": {NsPerOp: 1000959},
+	"vi_fit":         {NsPerOp: 1018010810, AllocsPerOp: 74491, BytesPerOp: 151363660, VisitsPerSec: 135067},
+	"core_process":   {NsPerOp: 1467191928, AllocsPerOp: 11627, BytesPerOp: 22745656},
 }
 
 // maxRegression is the gate: ns/op more than this factor above the seed
 // reference fails the run.
 const maxRegression = 1.15
+
+// fastLaneMinIters: a lane whose steady state is near a millisecond needs
+// more than a handful of iterations before ns/op means anything — a single
+// cold iteration (cache and branch-predictor warm-up) reads several times the
+// steady state, which would trip the 15% regression gate with pure noise at
+// -benchtime 1x. When an iteration-style -benchtime asks for fewer, these
+// lanes run this many iterations instead; duration-style benchtimes are left
+// alone, and the allocation gates are unaffected (they use AllocsPerRun).
+// The slower lanes (54 ms to 1.5 s per op) are representative at one
+// iteration and stay exact-count.
+var fastLaneMinIters = map[string]int{"elbo_evalvalue": 100}
+
+// iterBenchtime reports whether s is the iteration-count form of
+// -benchtime ("100x") and, if so, how many iterations it asks for.
+func iterBenchtime(s string) (int, bool) {
+	if len(s) < 2 || s[len(s)-1] != 'x' {
+		return 0, false
+	}
+	n := 0
+	for _, c := range s[:len(s)-1] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, true
+}
 
 // allocBudget is the steady-state allocs/op gate per benchmark.
 var allocBudget = map[string]int64{
@@ -113,6 +147,15 @@ func main() {
 	}
 
 	record := func(name string, f func(b *testing.B) int64) {
+		if min, ok := fastLaneMinIters[name]; ok {
+			if n, iters := iterBenchtime(*benchtime); iters && n < min {
+				bt := flag.Lookup("test.benchtime").Value
+				prev := bt.String()
+				if err := bt.Set(fmt.Sprintf("%dx", min)); err == nil {
+					defer bt.Set(prev)
+				}
+			}
+		}
 		var visits int64
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -151,30 +194,45 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 
 	// Gates, checked after the report is written so a failing run still
-	// leaves the numbers behind for inspection. Allocation budgets are
-	// gated on AllocsPerRun measurements (exact in steady state) rather
-	// than the benchmark-attributed counts, which pick up background
-	// runtime allocations at -benchtime 1x.
-	failed := false
-	for name, allocs := range benchfix.AllocGates() {
-		if budget, ok := allocBudget[name]; ok && int64(allocs) > budget {
-			fmt.Fprintf(os.Stderr, "benchreport: FAIL %s: %.0f steady-state allocs/op exceeds budget %d\n",
-				name, allocs, budget)
-			failed = true
-		}
+	// leaves the numbers behind for inspection.
+	failures := gateFailures(rep.Benchmarks, rep.SeedReference, benchfix.AllocGates())
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchreport: FAIL "+f)
 	}
-	for name, e := range rep.Benchmarks {
-		seed, ok := rep.SeedReference[name]
-		if !ok || seed.NsPerOp <= 0 {
-			continue
-		}
-		if e.NsPerOp > seed.NsPerOp*maxRegression {
-			fmt.Fprintf(os.Stderr, "benchreport: FAIL %s: %.0f ns/op regresses >%.0f%% vs seed reference %.0f ns/op\n",
-				name, e.NsPerOp, 100*(maxRegression-1), seed.NsPerOp)
-			failed = true
-		}
-	}
-	if failed {
+	if len(failures) > 0 {
 		os.Exit(1)
 	}
+}
+
+// gateFailures evaluates the perf gates over one run's numbers and returns a
+// description per violation. Allocation budgets are gated on AllocsPerRun
+// measurements (exact in steady state) rather than the benchmark-attributed
+// counts, which pick up background runtime allocations at -benchtime 1x. A
+// recorded lane with no (positive) seed reference is itself a gate error:
+// an ungated lane can regress silently for PRs on end, which is exactly how
+// elbo_evalvalue and core_process went unwatched until their references were
+// pinned.
+func gateFailures(benchmarks, seed map[string]entry, steadyAllocs map[string]float64) []string {
+	var failures []string
+	for name, allocs := range steadyAllocs {
+		if budget, ok := allocBudget[name]; ok && int64(allocs) > budget {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f steady-state allocs/op exceeds budget %d", name, allocs, budget))
+		}
+	}
+	for name, e := range benchmarks {
+		ref, ok := seed[name]
+		if !ok || ref.NsPerOp <= 0 {
+			failures = append(failures, fmt.Sprintf(
+				"%s: recorded but has no seed reference — pin one so the regression gate binds", name))
+			continue
+		}
+		if e.NsPerOp > ref.NsPerOp*maxRegression {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.0f ns/op regresses >%.0f%% vs seed reference %.0f ns/op",
+				name, e.NsPerOp, 100*(maxRegression-1), ref.NsPerOp))
+		}
+	}
+	sort.Strings(failures)
+	return failures
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every lane recorded by main() must have a positive seed reference: a
+// recorded-but-unreferenced lane regresses silently (elbo_evalvalue and
+// core_process did, for two PRs), so the gate treats it as an error.
+func TestAllRecordedLanesHaveSeedReferences(t *testing.T) {
+	recorded := []string{"elbo_eval", "elbo_evalgrad", "elbo_evalvalue", "vi_fit", "core_process"}
+	for _, name := range recorded {
+		ref, ok := seedReference[name]
+		if !ok || ref.NsPerOp <= 0 {
+			t.Errorf("%s is recorded but has no positive seed reference", name)
+		}
+	}
+}
+
+func TestGateFailures(t *testing.T) {
+	seed := map[string]entry{
+		"fast": {NsPerOp: 1000},
+		"slow": {NsPerOp: 1e9},
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		got := gateFailures(map[string]entry{
+			"fast": {NsPerOp: 1100}, // within the 15% margin
+			"slow": {NsPerOp: 9e8},
+		}, seed, nil)
+		if len(got) != 0 {
+			t.Fatalf("clean run produced failures: %v", got)
+		}
+	})
+
+	t.Run("regression", func(t *testing.T) {
+		got := gateFailures(map[string]entry{"fast": {NsPerOp: 1200}}, seed, nil)
+		if len(got) != 1 || !strings.Contains(got[0], "regresses") {
+			t.Fatalf("15%%+ regression not flagged: %v", got)
+		}
+	})
+
+	t.Run("unreferenced lane", func(t *testing.T) {
+		got := gateFailures(map[string]entry{"newlane": {NsPerOp: 5}}, seed, nil)
+		if len(got) != 1 || !strings.Contains(got[0], "no seed reference") {
+			t.Fatalf("unreferenced lane not flagged: %v", got)
+		}
+	})
+
+	t.Run("zero reference is unreferenced", func(t *testing.T) {
+		got := gateFailures(
+			map[string]entry{"zeroed": {NsPerOp: 5}},
+			map[string]entry{"zeroed": {}}, nil)
+		if len(got) != 1 || !strings.Contains(got[0], "no seed reference") {
+			t.Fatalf("zero-NsPerOp reference not flagged: %v", got)
+		}
+	})
+
+	t.Run("alloc budget", func(t *testing.T) {
+		got := gateFailures(nil, seed, map[string]float64{"elbo_eval": 3})
+		if len(got) != 1 || !strings.Contains(got[0], "exceeds budget") {
+			t.Fatalf("alloc budget violation not flagged: %v", got)
+		}
+		if got := gateFailures(nil, seed, map[string]float64{"core_process": 100}); len(got) != 0 {
+			t.Fatalf("within-budget allocs flagged: %v", got)
+		}
+	})
+}
+
+func TestIterBenchtime(t *testing.T) {
+	cases := []struct {
+		in    string
+		n     int
+		iters bool
+	}{
+		{"1x", 1, true},
+		{"100x", 100, true},
+		{"2s", 0, false},
+		{"x", 0, false},
+		{"", 0, false},
+		{"1.5x", 0, false},
+		{"-3x", 0, false},
+	}
+	for _, tc := range cases {
+		n, iters := iterBenchtime(tc.in)
+		if n != tc.n || iters != tc.iters {
+			t.Errorf("iterBenchtime(%q) = (%d, %v), want (%d, %v)", tc.in, n, iters, tc.n, tc.iters)
+		}
+	}
+}

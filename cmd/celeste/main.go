@@ -51,14 +51,17 @@ import (
 // flagConfig is the subset of flags whose combinations need validating, in a
 // plain struct so the matrix is table-testable.
 type flagConfig struct {
-	Serve      string // -serve listen address
-	Worker     string // -worker coordinator address
-	Spawn      int    // -spawn local worker count
-	SpawnSet   bool   // -spawn appeared on the command line
-	Checkpoint string // -checkpoint path
-	Resume     bool   // -resume
-	Procs      int    // -procs
-	Threads    int    // -threads
+	Serve      string        // -serve listen address
+	Worker     string        // -worker coordinator address
+	Spawn      int           // -spawn local worker count
+	SpawnSet   bool          // -spawn appeared on the command line
+	Checkpoint string        // -checkpoint path
+	Resume     bool          // -resume
+	Procs      int           // -procs
+	Threads    int           // -threads
+	Elastic    bool          // -elastic
+	ChurnKill  time.Duration // -churn-kill
+	ChurnAdd   time.Duration // -churn-add
 }
 
 // validateFlags rejects contradictory or silently misbehaving flag
@@ -83,6 +86,14 @@ func validateFlags(fc flagConfig) error {
 		return fmt.Errorf("-procs %d: need at least one process", fc.Procs)
 	case fc.Threads < 1:
 		return fmt.Errorf("-threads %d: need at least one thread", fc.Threads)
+	case fc.Elastic && fc.Worker == "":
+		return errors.New("-elastic only applies to -worker: elastic admission is a worker-side handshake")
+	case fc.ChurnKill < 0 || fc.ChurnAdd < 0:
+		return errors.New("churn delays must be non-negative")
+	case (fc.ChurnKill > 0 || fc.ChurnAdd > 0) && !fc.SpawnSet:
+		return errors.New("-churn-kill and -churn-add require -spawn: churn drives the locally spawned worker pool")
+	case fc.ChurnKill > 0 && fc.Spawn < 2:
+		return errors.New("-churn-kill needs -spawn of at least 2 so a survivor can finish the run")
 	}
 	return nil
 }
@@ -101,11 +112,15 @@ func main() {
 	serveAddr := flag.String("serve", "", "serve the run over TCP on this address; -procs worker processes must connect")
 	workerAddr := flag.String("worker", "", "join the run served by the coordinator at this address as one worker process")
 	spawn := flag.Int("spawn", 0, "serve on a loopback port and fork this many local worker processes")
+	elastic := flag.Bool("elastic", false, "with -worker: join the run elastically mid-run (admitted after the connect grace with a fresh rank)")
+	churnKill := flag.Duration("churn-kill", 0, "with -spawn: SIGKILL one spawned worker after this delay (its work requeues to the survivors)")
+	churnAdd := flag.Duration("churn-add", 0, "with -spawn: start one extra elastic worker after this delay")
 	flag.Parse()
 
 	fc := flagConfig{
 		Serve: *serveAddr, Worker: *workerAddr, Spawn: *spawn,
 		Checkpoint: *ckPath, Resume: *resume, Procs: *procs, Threads: *threads,
+		Elastic: *elastic, ChurnKill: *churnKill, ChurnAdd: *churnAdd,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "spawn" {
@@ -133,9 +148,14 @@ func main() {
 		// Worker mode: pull tasks from the coordinator until the run ends.
 		// The run hash handshake proves this process reconstructed the same
 		// survey, catalog, and partition byte-for-byte.
-		if err := celeste.RunWorker(*workerAddr, sv, init, celeste.WorkerOptions{
-			Threads: *threads,
-		}); err != nil {
+		wopts := celeste.WorkerOptions{Threads: *threads}
+		if *elastic {
+			// Elastic workers expect churn: re-dial a few times if the
+			// connection (or heartbeat) drops mid-run.
+			wopts.Elastic = true
+			wopts.Rejoin = 3
+		}
+		if err := celeste.RunWorker(*workerAddr, sv, init, wopts); err != nil {
 			log.Fatalf("worker: %v", err)
 		}
 		fmt.Println("worker: run complete")
@@ -176,9 +196,42 @@ func main() {
 		opts.Transport = &celeste.Transport{Listener: l}
 		fmt.Printf("serving on %s, expecting %d workers\n", l.Addr(), *procs)
 		if fc.SpawnSet {
-			spawned, err = spawnWorkers(l.Addr().String(), *spawn, *sky, *threads)
+			spawned, err = spawnWorkers(l.Addr().String(), *spawn, *sky, *threads, false)
 			if err != nil {
 				log.Fatal(err)
+			}
+			if *churnKill > 0 {
+				victim := spawned[0]
+				time.AfterFunc(*churnKill, func() {
+					fmt.Printf("churn: killing worker %d\n", victim.Process.Pid)
+					victim.Process.Kill()
+				})
+			}
+			if *churnAdd > 0 {
+				addr := l.Addr().String()
+				joiner := make(chan *exec.Cmd, 1)
+				time.AfterFunc(*churnAdd, func() {
+					extra, err := spawnWorkers(addr, 1, *sky, *threads, true)
+					if err != nil {
+						fmt.Fprintf(os.Stderr, "churn: adding worker: %v\n", err)
+						close(joiner)
+						return
+					}
+					fmt.Printf("churn: added elastic worker %d\n", extra[0].Process.Pid)
+					joiner <- extra[0]
+				})
+				defer func() {
+					// Reap the late joiner too (nil if the add failed or the
+					// run ended before the timer fired — then stop the timer
+					// path by draining with a default).
+					select {
+					case cmd, ok := <-joiner:
+						if ok && cmd != nil {
+							cmd.Wait()
+						}
+					default:
+					}
+				}()
 			}
 		}
 	}
@@ -190,7 +243,8 @@ func main() {
 	}, opts)
 	for _, cmd := range spawned {
 		// Workers exit after the coordinator's shutdown message; reap them.
-		if werr := cmd.Wait(); werr != nil && err == nil {
+		// A churn-killed worker's SIGKILL exit is expected, not an error.
+		if werr := cmd.Wait(); werr != nil && err == nil && *churnKill == 0 {
 			fmt.Fprintf(os.Stderr, "worker %d: %v\n", cmd.Process.Pid, werr)
 		}
 	}
@@ -209,6 +263,10 @@ func main() {
 	if res.FailedRanks > 0 {
 		fmt.Printf("recovered from %d dead workers (%d tasks requeued)\n",
 			res.FailedRanks, res.RequeuedTasks)
+	}
+	if res.JoinedRanks > 0 || res.LeftRanks > 0 || res.StolenTasks > 0 {
+		fmt.Printf("elastic membership: %d joined, %d left, %d tasks stolen\n",
+			res.JoinedRanks, res.LeftRanks, res.StolenTasks)
 	}
 	fmt.Printf("%.2e FLOPs (%.1fM active pixel visits) in %s => %.2f GFLOP/s\n",
 		flops.Total(res.Visits), float64(res.Visits)/1e6, elapsed.Round(time.Millisecond),
@@ -234,17 +292,21 @@ func main() {
 }
 
 // spawnWorkers forks n copies of this binary in -worker mode against addr.
-func spawnWorkers(addr string, n int, sky string, threads int) ([]*exec.Cmd, error) {
+func spawnWorkers(addr string, n int, sky string, threads int, elastic bool) ([]*exec.Cmd, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
 	}
 	cmds := make([]*exec.Cmd, 0, n)
 	for i := 0; i < n; i++ {
-		cmd := exec.Command(exe,
+		args := []string{
 			"-worker", addr,
 			"-sky", sky,
-			"-threads", strconv.Itoa(threads))
+			"-threads", strconv.Itoa(threads)}
+		if elastic {
+			args = append(args, "-elastic")
+		}
+		cmd := exec.Command(exe, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr
 		if err := cmd.Start(); err != nil {

@@ -21,6 +21,8 @@ func TestValidateFlags(t *testing.T) {
 		{"plain spawn", flagConfig{Spawn: 4, SpawnSet: true, Procs: 4, Threads: 8}, ""},
 		{"spawn with checkpoint", flagConfig{Spawn: 2, SpawnSet: true, Checkpoint: "run.celk", Procs: 4, Threads: 8}, ""},
 		{"serve with resume", flagConfig{Serve: ":7021", Checkpoint: "run.celk", Resume: true, Procs: 4, Threads: 8}, ""},
+		{"elastic worker", flagConfig{Worker: "host:7021", Elastic: true, Procs: 4, Threads: 8}, ""},
+		{"spawn with churn", flagConfig{Spawn: 4, SpawnSet: true, ChurnKill: 1, ChurnAdd: 1, Procs: 4, Threads: 8}, ""},
 
 		{"spawn zero", flagConfig{Spawn: 0, SpawnSet: true, Procs: 4, Threads: 8}, "-spawn"},
 		{"spawn negative", flagConfig{Spawn: -3, SpawnSet: true, Procs: 4, Threads: 8}, "-spawn"},
@@ -32,6 +34,11 @@ func TestValidateFlags(t *testing.T) {
 		{"serve and spawn", flagConfig{Serve: ":2", Spawn: 2, SpawnSet: true, Procs: 4, Threads: 8}, "mutually exclusive"},
 		{"zero procs", flagConfig{Procs: 0, Threads: 8}, "-procs"},
 		{"zero threads", flagConfig{Procs: 4, Threads: 0}, "-threads"},
+		{"elastic without worker", flagConfig{Elastic: true, Procs: 4, Threads: 8}, "-elastic"},
+		{"churn without spawn", flagConfig{ChurnKill: 1, Procs: 4, Threads: 8}, "require -spawn"},
+		{"churn add without spawn", flagConfig{ChurnAdd: 1, Procs: 4, Threads: 8}, "require -spawn"},
+		{"negative churn", flagConfig{Spawn: 2, SpawnSet: true, ChurnKill: -1, Procs: 4, Threads: 8}, "non-negative"},
+		{"churn kill of sole worker", flagConfig{Spawn: 1, SpawnSet: true, ChurnKill: 1, Procs: 4, Threads: 8}, "at least 2"},
 	}
 	for _, tc := range cases {
 		err := validateFlags(tc.fc)

@@ -15,6 +15,7 @@ import (
 	"net"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"syscall"
 	"testing"
@@ -26,9 +27,13 @@ import (
 )
 
 const (
-	workerAddrEnv  = "CELESTE_TEST_WORKER_ADDR"
-	workerKillEnv  = "CELESTE_TEST_KILL_AFTER"
-	workerDelayEnv = "CELESTE_TEST_START_DELAY_MS"
+	workerAddrEnv    = "CELESTE_TEST_WORKER_ADDR"
+	workerKillEnv    = "CELESTE_TEST_KILL_AFTER"
+	workerDelayEnv   = "CELESTE_TEST_START_DELAY_MS"
+	workerElasticEnv = "CELESTE_TEST_ELASTIC"
+	workerLeaveEnv   = "CELESTE_TEST_LEAVE_AFTER"
+	workerStartEnv   = "CELESTE_TEST_START_FILE"
+	workerTouchEnv   = "CELESTE_TEST_TOUCH_FILE"
 )
 
 func TestMain(m *testing.M) {
@@ -51,17 +56,41 @@ func runTestWorker(addr string) {
 		HeartbeatEvery: 50 * time.Millisecond,
 		Poll:           2 * time.Millisecond,
 	}
+	// The churn tests order the fleet by sentinel files instead of wall-clock
+	// sleeps, so the schedule is identical on fast and loaded machines: a
+	// worker with a touch file creates it upon its first task assignment —
+	// the task is then in hand, so the run is provably mid-flight — and a
+	// worker with a start file (below) holds its dial until the file exists.
+	// The SIGKILL victim touches just before dying.
+	kill, touch := -1, os.Getenv(workerTouchEnv)
 	if ks := os.Getenv(workerKillEnv); ks != "" {
 		k, err := strconv.Atoi(ks)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "worker: bad kill spec:", err)
 			os.Exit(2)
 		}
+		kill = k
+	}
+	if kill >= 0 || touch != "" {
 		opts.OnTask = func(task, completed int) {
-			if completed >= k {
+			if touch != "" && completed == 0 {
+				os.WriteFile(touch, nil, 0o644)
+			}
+			if kill >= 0 && completed >= kill {
 				syscall.Kill(os.Getpid(), syscall.SIGKILL)
 				select {} // unreachable: SIGKILL cannot be handled
 			}
+		}
+	}
+	if f := os.Getenv(workerStartEnv); f != "" {
+		// Hold the dial until an earlier wave's sentinel appears, so the
+		// coordinator is guaranteed to still be serving (the toucher's task
+		// is outstanding) when this worker dials.
+		for {
+			if _, err := os.Stat(f); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 	}
 	if ds := os.Getenv(workerDelayEnv); ds != "" {
@@ -73,6 +102,19 @@ func runTestWorker(addr string) {
 			os.Exit(2)
 		}
 		time.Sleep(time.Duration(ms) * time.Millisecond)
+	}
+	if os.Getenv(workerElasticEnv) != "" {
+		// The churn tests start this worker mid-run: it joins past the
+		// connect grace with a fresh rank and steals its way into the pool.
+		opts.Elastic = true
+	}
+	if ls := os.Getenv(workerLeaveEnv); ls != "" {
+		k, err := strconv.Atoi(ls)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "worker: bad leave spec:", err)
+			os.Exit(2)
+		}
+		opts.LeaveAfter = k
 	}
 	if err := RunWorker(addr, sv, init, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "worker:", err)
@@ -119,6 +161,61 @@ func spawnTestWorkers(t *testing.T, addr string, n int, killAfter map[int]int) [
 			// deterministically draws work before the pool drains (worker
 			// startup is slow and noisy under -race).
 			cmd.Env = append(cmd.Env, workerDelayEnv+"=1500")
+		}
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawning worker %d: %v", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	t.Cleanup(func() {
+		for _, c := range cmds {
+			c.Process.Kill()
+			c.Wait()
+		}
+	})
+	return cmds
+}
+
+// testWorkerSpec describes one churn-test worker process.
+type testWorkerSpec struct {
+	killAfter  int    // self-SIGKILL on the (killAfter+1)-th assignment; -1 disables
+	leaveAfter int    // announce a graceful leave after this many tasks; 0 disables
+	elastic    bool   // join mid-run via the elastic handshake
+	delayMs    int    // startup delay before dialing
+	startFile  string // hold the dial until this file exists
+	touchFile  string // create this file just before the self-SIGKILL fires
+}
+
+// spawnTestWorkerSpecs re-execs this test binary as one worker per spec.
+func spawnTestWorkerSpecs(t *testing.T, addr string, specs []testWorkerSpec) []*exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := make([]*exec.Cmd, 0, len(specs))
+	for i, sp := range specs {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), workerAddrEnv+"="+addr)
+		if sp.killAfter >= 0 {
+			cmd.Env = append(cmd.Env, workerKillEnv+"="+strconv.Itoa(sp.killAfter))
+		}
+		if sp.leaveAfter > 0 {
+			cmd.Env = append(cmd.Env, workerLeaveEnv+"="+strconv.Itoa(sp.leaveAfter))
+		}
+		if sp.elastic {
+			cmd.Env = append(cmd.Env, workerElasticEnv+"=1")
+		}
+		if sp.delayMs > 0 {
+			cmd.Env = append(cmd.Env, workerDelayEnv+"="+strconv.Itoa(sp.delayMs))
+		}
+		if sp.startFile != "" {
+			cmd.Env = append(cmd.Env, workerStartEnv+"="+sp.startFile)
+		}
+		if sp.touchFile != "" {
+			cmd.Env = append(cmd.Env, workerTouchEnv+"="+sp.touchFile)
 		}
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
@@ -287,5 +384,117 @@ func TestDistributedKillResumeDifferentWorkerCount(t *testing.T) {
 	entriesIdentical(t, base.Catalog, res.Catalog, "kill/resume at a different worker count")
 	if res.TasksProcessed != total {
 		t.Errorf("resumed run reports %d cumulative tasks, want %d", res.TasksProcessed, total)
+	}
+}
+
+// runTCPChurn serves one run to a churn fleet: the non-elastic specs form
+// the static complement the coordinator expects, elastic specs join mid-run
+// on top of it.
+func runTCPChurn(t *testing.T, sv *Survey, init []CatalogEntry, cfg InferConfig,
+	opts InferOptions, specs []testWorkerSpec) (*InferResult, []*exec.Cmd, error) {
+	t.Helper()
+	static := 0
+	for _, sp := range specs {
+		if !sp.elastic {
+			static++
+		}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Processes = static
+	opts.Transport = &Transport{
+		Listener:     l,
+		DeadAfter:    3 * time.Second,
+		ConnectGrace: 60 * time.Second,
+	}
+	cmds := spawnTestWorkerSpecs(t, l.Addr().String(), specs)
+	res, err := InferWithOptions(sv, init, cfg, opts)
+	for _, c := range cmds {
+		c.Wait()
+	}
+	return res, cmds, err
+}
+
+// TestChurnElasticJoinByteIdentical is the elastic tentpole's acceptance
+// test: mid-run an elastic worker joins (admitted after the static
+// handshake, with a fresh rank past the complement) while a static worker
+// is SIGKILLed with a task in hand — and the catalog is still byte-identical
+// to the single-process reference, with the same run hash. At spawn=4 a
+// third worker departs gracefully after its first task, which must count as
+// a leave, not a failure.
+func TestChurnElasticJoinByteIdentical(t *testing.T) {
+	sv, init, icfg := distInputs()
+	if len(init) < 4 {
+		t.Skip("fixed-seed survey too sparse")
+	}
+	base, err := InferWithOptions(sv, init, icfg, InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.TasksProcessed < 3 {
+		t.Fatalf("only %d tasks; the churn grid needs more", base.TasksProcessed)
+	}
+	baseHash := distHash(sv, init, base.Tasks, icfg, 1)
+
+	for _, workers := range []int{2, 4} {
+		// The fleet dials in three sentinel-ordered waves, so the schedule
+		// is deterministic on any machine speed. Wave 1: worker 0, killed on
+		// its first assignment, touching `died` just before the SIGKILL.
+		// Wave 2, gated on `died`: the elastic joiner (and, at 4 workers,
+		// the leaver, which departs after one completed task) — the victim's
+		// task is still outstanding, so the coordinator is provably mid-run
+		// when the join handshake arrives, and with at least three tasks in
+		// the run the leaver is guaranteed an assignment before the pool
+		// drains. Wave 3, gated on wave 2's first assignment: the plain
+		// survivors, which must dial a live coordinator too (the wave-2
+		// task is in hand when `working` appears).
+		dir := t.TempDir()
+		died := filepath.Join(dir, "victim-died")
+		working := filepath.Join(dir, "wave2-working")
+		specs := []testWorkerSpec{{killAfter: 0, touchFile: died}}
+		for i := 1; i < workers; i++ {
+			sp := testWorkerSpec{killAfter: -1, startFile: working}
+			if workers == 4 && i == 1 {
+				sp.leaveAfter = 1
+				sp.startFile = died
+				sp.touchFile = working
+			}
+			specs = append(specs, sp)
+		}
+		specs = append(specs, testWorkerSpec{killAfter: -1, elastic: true, startFile: died, touchFile: working})
+
+		res, cmds, err := runTCPChurn(t, sv, init, icfg, InferOptions{}, specs)
+		if err != nil {
+			t.Fatalf("spawn=%d: %v", workers, err)
+		}
+		label := fmt.Sprintf("churn spawn=%d", workers)
+		entriesIdentical(t, base.Catalog, res.Catalog, label)
+		if res.TasksProcessed != base.TasksProcessed {
+			t.Errorf("%s: %d tasks processed, in-process run did %d",
+				label, res.TasksProcessed, base.TasksProcessed)
+		}
+		if h := distHash(sv, init, base.Tasks, icfg, workers); h != baseHash {
+			t.Errorf("%s: run hash %016x differs from single-process %016x", label, h, baseHash)
+		}
+		if res.FailedRanks != 1 {
+			t.Errorf("%s: FailedRanks = %d, want exactly the SIGKILLed worker", label, res.FailedRanks)
+		}
+		if res.JoinedRanks != 1 {
+			t.Errorf("%s: JoinedRanks = %d, want the one elastic joiner", label, res.JoinedRanks)
+		}
+		if res.RequeuedTasks == 0 {
+			t.Errorf("%s: the victim died with a task in hand but nothing was requeued", label)
+		}
+		if workers == 4 && res.LeftRanks != 1 {
+			t.Errorf("%s: LeftRanks = %d, want the one graceful leaver", label, res.LeftRanks)
+		}
+		for i, c := range cmds {
+			victim := i == 0
+			if victim == c.ProcessState.Success() {
+				t.Errorf("%s: worker %d (victim=%v) exited %v", label, i, victim, c.ProcessState)
+			}
+		}
 	}
 }

@@ -144,6 +144,10 @@ type Result struct {
 	FailedProcs   int
 	RequeuedTasks int
 	LostSeconds   float64
+
+	// StolenTasks counts tasks moved between process pools by work
+	// stealing (zero unless SimOptions.Steal is on).
+	StolenTasks int
 }
 
 // ThreadEfficiency models intra-task thread scaling: Cyclades keeps threads
@@ -249,6 +253,24 @@ func Simulate(m Machine, w Workload, synchronizedStart bool) *Result {
 // TaskProcessing on the inheriting processes, the dead process's silence in
 // LoadImbalance, and the wasted partial execution plus stalls in Other.
 func SimulateWithFaults(m Machine, w Workload, synchronizedStart bool, fp *dtree.FaultPlan) *Result {
+	return SimulateOpts(m, w, synchronizedStart, SimOptions{Faults: fp})
+}
+
+// SimOptions extends the simulation with elastic-runtime behaviors.
+type SimOptions struct {
+	// Faults is the injected fault plan (nil for a fault-free run).
+	Faults *dtree.FaultPlan
+
+	// Steal lets an idle process pull from the most-loaded live process's
+	// pool when its own subtree is dry, mirroring the TCP runtime's work
+	// stealing. Off by default — the static-partition baseline the paper
+	// measures — so Simulate/SimulateWithFaults results are unchanged.
+	Steal bool
+}
+
+// SimulateOpts is the full-option entry point for the DES.
+func SimulateOpts(m Machine, w Workload, synchronizedStart bool, opts SimOptions) *Result {
+	fp := opts.Faults
 	nProcs := m.Nodes * m.ProcsPerNode
 	visits := GenerateVisits(w)
 	sched := dtree.New(dtree.Config{}, nProcs, w.Tasks)
@@ -304,6 +326,11 @@ func SimulateWithFaults(m Machine, w Workload, synchronizedStart bool, fp *dtree
 		ps := heap.Pop(&h).(procState)
 		p := &procs[ps.rank]
 		task, ok := sched.Next(ps.rank)
+		if !ok && opts.Steal {
+			// Idle process with a dry subtree: pull from the most-loaded
+			// live pool instead of parking until a reseed.
+			task, ok = sched.Steal(ps.rank)
+		}
 		if !ok {
 			p.finish = ps.free
 			reseedIfStalled()
@@ -355,7 +382,8 @@ func SimulateWithFaults(m Machine, w Workload, synchronizedStart bool, fp *dtree
 	}
 
 	res := &Result{Makespan: makespan, Visits: int64(totalVisits), Processes: nProcs,
-		FailedProcs: failedProcs, RequeuedTasks: int(sched.Requeued()), LostSeconds: lostSeconds}
+		FailedProcs: failedProcs, RequeuedTasks: int(sched.Requeued()), LostSeconds: lostSeconds,
+		StolenTasks: int(sched.Stolen())}
 	var sumBusy, sumOther, sumImb float64
 	for i := range procs {
 		sumBusy += procs[i].busy

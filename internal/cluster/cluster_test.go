@@ -295,3 +295,89 @@ func TestLateKillAfterSurvivorsDrainStillCompletes(t *testing.T) {
 			res.Visits, base.Visits)
 	}
 }
+
+func TestStealReducesImbalanceUnderFaults(t *testing.T) {
+	// Same fault plan as the recovery test; the steal variant must complete
+	// the identical useful work with visibly less load imbalance, because
+	// idle processes pull from loaded pools instead of parking until a
+	// requeue cascades to their subtree.
+	m := DefaultMachine(2) // 34 processes
+	w := DefaultWorkload(200)
+	base := Simulate(m, w, false)
+	fp := &dtree.FaultPlan{Faults: []dtree.Fault{
+		{Rank: 3, AfterTasks: 1, Kill: true},
+		{Rank: 17, AfterTasks: 0, Kill: true},
+		{Rank: 0, AfterTasks: 2, Kill: true},
+	}}
+	static := SimulateOpts(m, w, false, SimOptions{Faults: fp})
+	steal := SimulateOpts(m, w, false, SimOptions{Faults: fp, Steal: true})
+
+	if steal.Visits != base.Visits {
+		t.Fatalf("steal run completed %d visits, fault-free %d", steal.Visits, base.Visits)
+	}
+	if steal.FailedProcs != static.FailedProcs {
+		t.Fatalf("steal changed the fault plan: %d vs %d failures",
+			steal.FailedProcs, static.FailedProcs)
+	}
+	if steal.StolenTasks == 0 {
+		t.Error("steal-enabled run stole nothing")
+	}
+	if static.StolenTasks != 0 {
+		t.Errorf("static run recorded %d steals", static.StolenTasks)
+	}
+	if steal.Components.LoadImbalance >= static.Components.LoadImbalance {
+		t.Errorf("stealing did not reduce load imbalance: %.2f (steal) vs %.2f (static)",
+			steal.Components.LoadImbalance, static.Components.LoadImbalance)
+	}
+	if steal.Makespan > static.Makespan {
+		t.Errorf("stealing lengthened the run: %.1f vs %.1f", steal.Makespan, static.Makespan)
+	}
+}
+
+func TestStealRecoversOnePercentKillPlan(t *testing.T) {
+	// The §VII-style 1%-killed-procs plan at 18 nodes: ranks 0-2 (exactly
+	// 1% of the 306 processes, and the top of the Dtree) die at the start,
+	// so their distribution pools requeue onto a handful of inheritors.
+	// Static partitions leave those inheritors as stragglers; stealing must
+	// spread the pools back out and land the makespan near fault-free.
+	m := DefaultMachine(18) // 306 processes
+	w := DefaultWorkload(1224)
+	ff := Simulate(m, w, true)
+	fp := &dtree.FaultPlan{Faults: []dtree.Fault{
+		{Rank: 0, AfterTasks: 0, Kill: true},
+		{Rank: 1, AfterTasks: 0, Kill: true},
+		{Rank: 2, AfterTasks: 0, Kill: true},
+	}}
+	static := SimulateOpts(m, w, true, SimOptions{Faults: fp})
+	steal := SimulateOpts(m, w, true, SimOptions{Faults: fp, Steal: true})
+
+	if steal.Visits != ff.Visits || static.Visits != ff.Visits {
+		t.Fatalf("useful visits drifted: fault-free %d, static %d, steal %d",
+			ff.Visits, static.Visits, steal.Visits)
+	}
+	if steal.StolenTasks == 0 {
+		t.Fatal("steal-enabled run stole nothing")
+	}
+	if steal.Components.LoadImbalance >= static.Components.LoadImbalance {
+		t.Errorf("stealing did not reduce load imbalance: %.2f (steal) vs %.2f (static)",
+			steal.Components.LoadImbalance, static.Components.LoadImbalance)
+	}
+	// The steal run must recover most of the fault penalty: closer to the
+	// fault-free makespan than to the static-faulted one.
+	if steal.Makespan-ff.Makespan > (static.Makespan-ff.Makespan)/2 {
+		t.Errorf("stealing recovered too little: fault-free %.1f, steal %.1f, static %.1f",
+			ff.Makespan, steal.Makespan, static.Makespan)
+	}
+}
+
+func TestStealOffMatchesSimulate(t *testing.T) {
+	// SimOptions' zero value must be the exact static baseline.
+	m := DefaultMachine(2)
+	w := DefaultWorkload(120)
+	a := Simulate(m, w, false)
+	b := SimulateOpts(m, w, false, SimOptions{})
+	if a.Makespan != b.Makespan || a.Visits != b.Visits || a.Components != b.Components {
+		t.Errorf("zero-value SimOptions changed the simulation: %+v vs %+v",
+			a.Components, b.Components)
+	}
+}

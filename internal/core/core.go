@@ -375,6 +375,11 @@ type RunResult struct {
 	// Fault-recovery accounting.
 	FailedRanks   int
 	RequeuedTasks int
+
+	// Elastic-membership accounting (TCP runtime only).
+	JoinedRanks int // elastic workers admitted mid-run
+	LeftRanks   int // workers that departed gracefully (not failures)
+	StolenTasks int // tasks moved between rank pools by stealing
 }
 
 // RunOptions extends Run with checkpoint/resume and fault injection.
@@ -430,6 +435,13 @@ type runState struct {
 	prev     *pgas.Array    // frozen stage-input parameters (read side)
 	prevSnap *pgas.Snapshot // serialized form of prev, shared by checkpoints
 
+	// lastCurSnap is the previous checkpoint's capture of cur, used for
+	// incremental capture (unchanged shards are shared, not re-copied). It
+	// MUST be reset to nil whenever cur is replaced (restore, elastic
+	// repartition): a fresh array restarts shard versions, and a stale
+	// snapshot could falsely match them.
+	lastCurSnap *pgas.Snapshot
+
 	// PGAS op counters carried from discarded arrays (earlier stages) and
 	// pre-resume incarnations.
 	carriedLocal, carriedRemote, carriedBytes int64
@@ -464,11 +476,18 @@ func (st *runState) captureLocked() *Checkpoint {
 		cr += r
 		cb += b
 	}
+	// Incremental capture: shards of cur untouched since the previous
+	// checkpoint are shared with it instead of re-copied, so steady-state
+	// checkpoint cost scales with the write set, not the survey size — a
+	// membership change (join/leave) no longer implies a full stop-the-world
+	// copy of the parameter array.
+	curSnap := st.cur.SnapshotDelta(st.lastCurSnap)
+	st.lastCurSnap = curSnap
 	return &Checkpoint{
 		Hash:           st.hash,
 		Stage:          st.stage,
 		Done:           append([]bool(nil), st.done...),
-		Cur:            st.cur.Snapshot(),
+		Cur:            curSnap,
 		StageStart:     st.prevSnap,
 		Stats:          st.stats,
 		TasksProcessed: st.tasksProcessed,
@@ -674,6 +693,7 @@ func (st *runState) restore(ck *Checkpoint, nSources, procs, nTasks int) error {
 		return err
 	}
 	st.prevSnap = prevSnap
+	st.lastCurSnap = nil // cur was replaced; its shard versions restarted
 	st.stage = ck.Stage
 	copy(st.done, ck.Done)
 	st.stats = ck.Stats
@@ -747,6 +767,13 @@ func (cfg Config) runStage(sv *survey.Survey, catalog []model.CatalogEntry,
 					return
 				}
 				j, ok := src.Next(rank)
+				if !ok {
+					// Dry pool: steal from the most-loaded live rank before
+					// sleeping — the idle rank load-balances instead of
+					// spinning. Task purity keeps the catalog byte-identical
+					// whichever rank ends up executing a task.
+					j, ok = src.Steal(rank)
+				}
 				if !ok {
 					if finished() {
 						return

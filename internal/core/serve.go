@@ -31,11 +31,12 @@ func (cfg Config) serveTCP(tasks []partition.Task, stages [][]int, st *runState,
 		return errors.New("core: Transport requires a Listener")
 	}
 	b := &serveBackend{
-		procs:  cfg.Processes,
-		st:     st,
-		stages: stages,
-		done:   make(chan struct{}),
-		s:      st.stage,
+		procs:    cfg.Processes,
+		st:       st,
+		stages:   stages,
+		done:     make(chan struct{}),
+		s:        st.stage,
+		leftRank: make(map[int]bool),
 	}
 	for _, d := range st.done {
 		if !d {
@@ -68,12 +69,19 @@ func (cfg Config) serveTCP(tasks []partition.Task, stages [][]int, st *runState,
 
 	b.mu.Lock()
 	dead := 0
-	for _, d := range st.deadRank {
-		if d {
+	for r, d := range st.deadRank {
+		// Graceful leavers are retired ranks, not failures.
+		if d && !b.leftRank[r] {
 			dead++
 		}
 	}
 	res.FailedRanks = dead
+	res.LeftRanks = len(b.leftRank)
+	res.JoinedRanks = b.procs - cfg.Processes
+	if b.sched != nil {
+		res.StolenTasks += int(b.sched.Stolen())
+	}
+	res.StolenTasks += int(b.stolen)
 	rq := b.requeued
 	if b.sched != nil {
 		rq += b.sched.Requeued()
@@ -118,11 +126,13 @@ type serveBackend struct {
 	mu        sync.Mutex
 	s         int // current stage index into stages
 	sched     *dtree.Scheduler
-	idx       []int       // current stage's global task indices
-	g2l       map[int]int // global -> stage-local for uncommitted tasks
-	stageLeft int         // uncommitted tasks in the current stage
-	totalLeft int         // uncommitted tasks in the whole run
-	requeued  int64       // folded from retired stage schedulers
+	idx       []int        // current stage's global task indices
+	g2l       map[int]int  // global -> stage-local for uncommitted tasks
+	stageLeft int          // uncommitted tasks in the current stage
+	totalLeft int          // uncommitted tasks in the whole run
+	requeued  int64        // folded from retired stage schedulers
+	stolen    int64        // folded from retired stage schedulers
+	leftRank  map[int]bool // ranks that departed gracefully (not failures)
 	stranded  error
 
 	done      chan struct{}
@@ -168,10 +178,11 @@ func (b *serveBackend) setupStageLocked() {
 // caller has established stageLeft == 0 — every task of the finished stage
 // is committed, so no worker can be holding stale stage input.
 func (b *serveBackend) advanceLocked() {
-	// Fold the retiring scheduler's requeue count exactly once: the final
-	// accounting adds the live scheduler's count, so a scheduler must not
-	// survive past its fold.
+	// Fold the retiring scheduler's requeue and steal counts exactly once:
+	// the final accounting adds the live scheduler's counts, so a scheduler
+	// must not survive past its fold.
 	b.requeued += b.sched.Requeued()
+	b.stolen += b.sched.Stolen()
 	b.sched = nil
 	b.s++
 	if b.s < len(b.stages) {
@@ -185,6 +196,18 @@ func (b *serveBackend) advanceLocked() {
 // tasks requeue and the waiting worker picks them up — the same polling loop
 // the in-process ranks run.
 func (b *serveBackend) Next(rank int) (int, cnet.NextStatus) {
+	return b.pull(rank, false)
+}
+
+// Steal is Next with a fallback: if the rank's own pool (and its ancestor
+// chain) is dry, pull half the most-loaded live rank's undistributed pool.
+// Only pooled tasks move — in-flight work is never duplicated — so the
+// catalog stays byte-identical regardless of who executes what.
+func (b *serveBackend) Steal(rank int) (int, cnet.NextStatus) {
+	return b.pull(rank, true)
+}
+
+func (b *serveBackend) pull(rank int, steal bool) (int, cnet.NextStatus) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.st.aborted.Load() {
@@ -200,6 +223,9 @@ func (b *serveBackend) Next(rank int) (int, cnet.NextStatus) {
 			return 0, cnet.NextShutdown
 		}
 		j, ok := b.sched.Next(rank)
+		if !ok && steal {
+			j, ok = b.sched.Steal(rank)
+		}
 		if ok {
 			return b.idx[j], cnet.NextTask
 		}
@@ -249,14 +275,23 @@ func (b *serveBackend) Commit(rank, g int, stats [3]uint64) {
 // requeue to a live ancestor, and the rank stays dead for the rest of the
 // run — exactly the in-process fault semantics, driven by real connection
 // deaths instead of an injected plan.
-func (b *serveBackend) Fail(rank int) {
-	if rank < 0 || rank >= b.procs {
-		return
-	}
+func (b *serveBackend) Fail(rank int) { b.retire(rank, false) }
+
+// Leave retires a rank that announced a graceful departure. The work
+// recovery is identical to Fail — requeue everything the rank held — but the
+// departure is recorded as a leave, not a failure, so the run's accounting
+// distinguishes churn from crashes.
+func (b *serveBackend) Leave(rank int) { b.retire(rank, true) }
+
+func (b *serveBackend) retire(rank int, graceful bool) {
 	b.mu.Lock()
-	if b.st.deadRank[rank] {
+	// Bounds check under mu: procs grows when elastic workers join.
+	if rank < 0 || rank >= b.procs || b.st.deadRank[rank] {
 		b.mu.Unlock()
 		return
+	}
+	if graceful {
+		b.leftRank[rank] = true
 	}
 	b.st.deadRank[rank] = true
 	if b.sched != nil {
@@ -278,6 +313,43 @@ func (b *serveBackend) Fail(rank int) {
 	if fin {
 		b.finish()
 	}
+}
+
+// Join admits an elastic worker mid-run with a fresh rank past the current
+// complement. The scheduler grows a (empty-pooled) leaf the joiner steals
+// into, and both PGAS arrays repartition to carry the new rank's shard view —
+// under st.mu, since checkpoint capture reads the arrays there. A terminal
+// run (completed, aborted, or stranded) refuses the join so late dials get a
+// clean error instead of a hang.
+func (b *serveBackend) Join() (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.st.aborted.Load() || b.totalLeft == 0 || b.s >= len(b.stages) || b.stranded != nil {
+		return 0, false
+	}
+	rank := b.procs
+	b.procs++
+	if b.sched != nil {
+		b.sched.Join()
+	}
+	st := b.st
+	st.mu.Lock()
+	st.deadRank = append(st.deadRank, false)
+	st.completedBy = append(st.completedBy, 0)
+	if cur, err := st.cur.RepartitionRanks(b.procs); err == nil {
+		st.cur = cur
+		// cur was replaced: its shard versions restarted, so the delta
+		// baseline is invalid.
+		st.lastCurSnap = nil
+	}
+	if prev, err := st.prev.RepartitionRanks(b.procs); err == nil {
+		st.prev = prev
+	}
+	if snap, err := st.prevSnap.Repartition(b.procs); err == nil {
+		st.prevSnap = snap
+	}
+	st.mu.Unlock()
+	return rank, true
 }
 
 // Get serves stage-input elements from the frozen array with the worker's

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -34,6 +35,25 @@ type WorkerOptions struct {
 	// Poll is the retry sleep while the remote pool is dry (default 2ms).
 	Poll time.Duration
 
+	// Elastic opens the handshake with Join instead of Hello: the
+	// coordinator admits this worker mid-run (even after the connect grace)
+	// with a fresh rank, and it acquires work by stealing from loaded ranks.
+	Elastic bool
+
+	// Rejoin, when positive, turns connection and heartbeat failures into
+	// elastic re-dials (up to that many) instead of hard exits: the old rank
+	// was declared dead and its work requeued, so the process comes back as a
+	// fresh rank and steals its way back in. Aborted runs and input
+	// mismatches never rejoin — retrying a refused handshake cannot succeed.
+	Rejoin int
+
+	// LeaveAfter, when positive, makes the worker announce a graceful
+	// departure after completing that many tasks: the coordinator requeues
+	// nothing (the worker holds no task at the announce point), records a
+	// leave rather than a failure, and the worker exits nil. The churn tests
+	// use it to drain a worker mid-run without tripping fault accounting.
+	LeaveAfter int
+
 	// OnTask, when set, is invoked after each task assignment and before
 	// execution, with the global task index and how many tasks this worker
 	// has completed so far. The chaos tests use it to SIGKILL a worker with
@@ -47,67 +67,124 @@ type WorkerOptions struct {
 // supervisor must not read the exit as success). Other errors are connection
 // failures, protocol violations, and input mismatches (the run-hash
 // handshake refuses a worker whose reconstructed run differs from the
-// coordinator's).
+// coordinator's). With opts.Rejoin set, connection-level failures re-dial
+// elastically instead of returning.
 func RunWorker(addr string, sv *survey.Survey, catalog []model.CatalogEntry, opts WorkerOptions) error {
-	cl, err := cnet.Dial(addr, cnet.DialOptions{Timeout: opts.DialTimeout, Poll: opts.Poll})
-	if err != nil {
-		return err
-	}
-	defer cl.Close()
-	w := cl.Welcome()
-	if int(w.Width) != model.ParamDim {
-		return fmt.Errorf("core: coordinator parameters have width %d, this build has %d",
-			w.Width, model.ParamDim)
-	}
-	cfg := Config{
-		Threads:   opts.Threads,
-		Rounds:    int(w.Rounds),
-		BatchFrac: w.BatchFrac,
-		Seed:      w.Seed,
-		Processes: int(w.Workers),
-		Fit:       vi.Options{MaxIter: int(w.MaxIter), GradTol: w.GradTol},
-	}
-	tasks := partition.GenerateTwoStage(catalog, sv.Config.Region, partition.Options{
-		TargetWork: w.TargetWork,
-	})
-	if uint64(len(tasks)) != w.NTasks {
-		return fmt.Errorf("core: regenerated %d tasks, coordinator schedules %d (different run inputs?)",
-			len(tasks), w.NTasks)
-	}
-	hash := RunHash(sv, catalog, tasks, cfg)
-	if hash != w.RunHash {
-		return fmt.Errorf("core: run hash mismatch: this worker computed %016x, coordinator's run is %016x",
-			hash, w.RunHash)
-	}
-	if err := cl.Ready(hash, opts.HeartbeatEvery); err != nil {
-		return err
-	}
-
-	priors := model.FitPriors(catalog)
+	// The run reconstruction (partition + priors + hash) is a pure function
+	// of the local inputs; compute it once and reuse it across rejoins.
+	var (
+		tasks  []partition.Task
+		priors model.Priors
+		hash   uint64
+		cfg    Config
+	)
+	prepared := false
+	elastic := opts.Elastic
 	completed := 0
-	for {
-		g, ok, err := cl.NextTask()
-		if err != nil {
-			return err
-		}
-		if !ok {
+	for attempt := 0; ; attempt++ {
+		err := func() error {
+			cl, err := cnet.Dial(addr, cnet.DialOptions{
+				Timeout: opts.DialTimeout, Poll: opts.Poll, Elastic: elastic,
+			})
+			if err != nil {
+				return err
+			}
+			defer cl.Close()
+			w := cl.Welcome()
+			if int(w.Width) != model.ParamDim {
+				return &workerSetupError{fmt.Errorf(
+					"core: coordinator parameters have width %d, this build has %d",
+					w.Width, model.ParamDim)}
+			}
+			if !prepared {
+				cfg = Config{
+					Threads:   opts.Threads,
+					Rounds:    int(w.Rounds),
+					BatchFrac: w.BatchFrac,
+					Seed:      w.Seed,
+					Processes: int(w.Workers),
+					Fit:       vi.Options{MaxIter: int(w.MaxIter), GradTol: w.GradTol},
+				}
+				tasks = partition.GenerateTwoStage(catalog, sv.Config.Region, partition.Options{
+					TargetWork: w.TargetWork,
+				})
+				priors = model.FitPriors(catalog)
+				hash = RunHash(sv, catalog, tasks, cfg)
+				prepared = true
+			}
+			if uint64(len(tasks)) != w.NTasks {
+				return &workerSetupError{fmt.Errorf(
+					"core: regenerated %d tasks, coordinator schedules %d (different run inputs?)",
+					len(tasks), w.NTasks)}
+			}
+			if hash != w.RunHash {
+				return &workerSetupError{fmt.Errorf(
+					"core: run hash mismatch: this worker computed %016x, coordinator's run is %016x",
+					hash, w.RunHash)}
+			}
+			if err := cl.Ready(hash, opts.HeartbeatEvery); err != nil {
+				return err
+			}
+
+			for {
+				if opts.LeaveAfter > 0 && completed >= opts.LeaveAfter {
+					if err := cl.Leave(); err != nil {
+						return err
+					}
+					return errWorkerLeft
+				}
+				g, ok, err := cl.NextTask()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				if g < 0 || g >= len(tasks) {
+					return &workerSetupError{fmt.Errorf(
+						"core: coordinator assigned task %d of %d", g, len(tasks))}
+				}
+				if opts.OnTask != nil {
+					opts.OnTask(g, completed)
+				}
+				stats, err := cfg.ExecTask(sv, catalog, &priors, &tasks[g], cl, cl)
+				if err != nil {
+					return err
+				}
+				if err := cl.TaskDone(g, [3]uint64{
+					uint64(stats.Fits), uint64(stats.NewtonIters), uint64(stats.Visits),
+				}); err != nil {
+					return err
+				}
+				completed++
+			}
+		}()
+		if err == nil {
 			return nil
 		}
-		if g < 0 || g >= len(tasks) {
-			return fmt.Errorf("core: coordinator assigned task %d of %d", g, len(tasks))
+		if errors.Is(err, errWorkerLeft) {
+			return nil
 		}
-		if opts.OnTask != nil {
-			opts.OnTask(g, completed)
+		var setup *workerSetupError
+		if errors.Is(err, cnet.ErrAborted) || errors.As(err, &setup) {
+			return err // deterministic refusals: rejoining cannot help
 		}
-		stats, err := cfg.ExecTask(sv, catalog, &priors, &tasks[g], cl, cl)
-		if err != nil {
+		if attempt >= opts.Rejoin {
 			return err
 		}
-		if err := cl.TaskDone(g, [3]uint64{
-			uint64(stats.Fits), uint64(stats.NewtonIters), uint64(stats.Visits),
-		}); err != nil {
-			return err
-		}
-		completed++
+		// Our rank is (or will shortly be) declared dead and its work
+		// requeued; come back as a fresh elastic rank and steal back in.
+		elastic = true
 	}
 }
+
+// errWorkerLeft is the internal signal that the worker departed gracefully
+// via LeaveAfter; RunWorker translates it to a nil (clean) exit.
+var errWorkerLeft = errors.New("core: worker left gracefully")
+
+// workerSetupError marks deterministic handshake and validation failures
+// that must not trigger an elastic rejoin.
+type workerSetupError struct{ err error }
+
+func (e *workerSetupError) Error() string { return e.err.Error() }
+func (e *workerSetupError) Unwrap() error { return e.err }

@@ -136,6 +136,10 @@ type Source interface {
 	// Fail removes rank from the schedule, requeueing its in-flight tasks
 	// and undistributed pool; it returns how many tasks were requeued.
 	Fail(rank int) int
+	// Steal pulls a task for an idle rank from the most-loaded live rank's
+	// undistributed pool, bypassing the ancestor-chain refill. ok=false means
+	// no rank holds stealable work (everything left is in flight).
+	Steal(rank int) (task int, ok bool)
 }
 
 var _ Source = (*Scheduler)(nil)
@@ -168,6 +172,7 @@ type Scheduler struct {
 	requests  []int64 // per-rank requests sent up the chain
 	delivered []int64 // per-rank tasks processed
 	requeued  int64   // tasks returned to the pool by Fail
+	stolen    int64   // tasks moved between pools by Steal
 }
 
 type taskRange struct{ lo, hi int }
@@ -365,6 +370,88 @@ func (s *Scheduler) Requeued() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.requeued
+}
+
+// Steal pulls a task for an idle rank directly from the most-loaded live
+// rank's undistributed pool — the elastic complement to the ancestor-chain
+// refill, which can leave a rank spinning on Wait while a sibling subtree
+// still holds a deep pool. Half the victim's pool (at least one task) moves
+// to the thief so repeated steals converge instead of ping-ponging single
+// tasks. Only pooled (undistributed) tasks move; in-flight tasks stay
+// attributed to their rank, so no task can be executed twice by a steal.
+func (s *Scheduler) Steal(rank int) (task int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if rank < 0 || rank >= s.n || s.dead[rank] {
+		return 0, false
+	}
+	if s.pools[rank].size() == 0 {
+		victim, most := -1, 0
+		for r := 0; r < s.n; r++ {
+			if r == rank || s.dead[r] {
+				continue
+			}
+			if sz := s.pools[r].size(); sz > most {
+				victim, most = r, sz
+			}
+		}
+		if victim == -1 {
+			return 0, false
+		}
+		k := most / 2
+		if k < 1 {
+			k = 1
+		}
+		got := s.pools[victim].take(k)
+		s.stolen += int64(got.size())
+		s.pools[rank].add(got)
+	}
+	if s.pools[rank].size() == 0 {
+		return 0, false
+	}
+	s.delivered[rank]++
+	t := s.pools[rank].takeOne()
+	s.inflight[rank][t] = true
+	return t, true
+}
+
+// Stolen reports how many tasks Steal has moved between pools so far.
+func (s *Scheduler) Stolen() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stolen
+}
+
+// Join admits a new rank into the schedule mid-run and returns its rank
+// index. The joiner starts with an empty pool — it acquires work through
+// Steal or the refill chain — and slots into the tree as the next leaf, with
+// subtree sizes recomputed so chunk fair-shares stay consistent.
+func (s *Scheduler) Join() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rank := s.n
+	s.n++
+	s.pools = append(s.pools, pool{})
+	s.inflight = append(s.inflight, make(map[int]bool))
+	s.dead = append(s.dead, false)
+	s.requests = append(s.requests, 0)
+	s.delivered = append(s.delivered, 0)
+	s.subSize = make([]int, s.n)
+	for r := s.n - 1; r >= 0; r-- {
+		s.subSize[r]++
+		if p := Parent(r, s.cfg.Fanout); p >= 0 {
+			s.subSize[p] += s.subSize[r]
+		}
+	}
+	return rank
+}
+
+// Leave removes a rank that departs gracefully. The scheduling consequence
+// is identical to Fail — in-flight tasks and the local pool requeue to a
+// live ancestor — but callers use the distinction for accounting (a leaver
+// is not a failure).
+func (s *Scheduler) Leave(rank int) int {
+	return s.Fail(rank)
 }
 
 // refillLocked walks up the chain of live ancestors to the nearest pool with

@@ -401,6 +401,145 @@ func TestNewResumedSkipsDoneTasks(t *testing.T) {
 	}
 }
 
+func TestStealMovesWorkFromMostLoaded(t *testing.T) {
+	// FirstFrac 1 deals everything statically (no dynamic pool), and rank 0 —
+	// the joiner's whole ancestor chain — is drained into flight, so the
+	// refill cascade finds nothing and the idle joiner must steal from a
+	// sibling subtree.
+	s := New(Config{FirstFrac: 1}, 4, 100)
+	for i := 0; i < 25; i++ {
+		if _, ok := s.Next(0); !ok {
+			t.Fatal("rank 0 starved before its static pool drained")
+		}
+	}
+	thief := s.Join()
+	if thief != 4 {
+		t.Fatalf("joiner got rank %d, want 4", thief)
+	}
+	if _, ok := s.Next(thief); ok {
+		t.Fatal("joiner's empty pool produced a task via Next")
+	}
+	task, ok := s.Steal(thief)
+	if !ok {
+		t.Fatal("steal found no work though every static pool is full")
+	}
+	s.Done(thief, task)
+	if s.Stolen() == 0 {
+		t.Error("Stolen() did not count the moved tasks")
+	}
+	// Roughly half the victim's pool should have moved: the thief keeps
+	// producing tasks from its own pool without further stealing.
+	moved := s.Stolen()
+	for i := int64(1); i < moved; i++ {
+		tk, ok := s.Next(thief)
+		if !ok {
+			t.Fatalf("thief's pool dried up after %d of %d stolen tasks", i, moved)
+		}
+		s.Done(thief, tk)
+	}
+}
+
+func TestStealNeverDuplicatesOrStrandsTasks(t *testing.T) {
+	// Mixed Next/Steal draining across ranks, with a mid-run join and a
+	// fail: every task must still execute exactly once.
+	total := 200
+	s := New(Config{FirstFrac: 0.8}, 4, total)
+	seen := make(map[int]int)
+	pull := func(rank int) bool {
+		task, ok := s.Next(rank)
+		if !ok {
+			task, ok = s.Steal(rank)
+		}
+		if !ok {
+			return false
+		}
+		seen[task]++
+		s.Done(rank, task)
+		return true
+	}
+	// A little progress, then churn: rank 2 dies holding a task, a new rank
+	// joins with an empty pool.
+	for i := 0; i < 10; i++ {
+		pull(1)
+	}
+	if _, ok := s.Next(2); !ok {
+		t.Fatal("rank 2 starved before its kill")
+	}
+	s.Fail(2) // dies with one task in flight
+	joiner := s.Join()
+	ranks := []int{0, 1, 3, joiner}
+	for {
+		progressed := false
+		for _, r := range ranks {
+			if pull(r) {
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	if len(seen) != total {
+		t.Fatalf("executed %d distinct tasks, want %d", len(seen), total)
+	}
+	for task, c := range seen {
+		if c != 1 {
+			t.Fatalf("task %d executed %d times", task, c)
+		}
+	}
+	delivered, _ := s.Stats()
+	if delivered[joiner] == 0 {
+		t.Error("joiner processed nothing despite steal")
+	}
+}
+
+func TestStealRespectsDeadAndInflight(t *testing.T) {
+	s := New(Config{FirstFrac: 1}, 2, 10)
+	// Drain rank 0 fully into flight: 5 static tasks held, none pooled.
+	for i := 0; i < 5; i++ {
+		if _, ok := s.Next(0); !ok {
+			t.Fatal("rank 0 starved")
+		}
+	}
+	// Drain rank 1 the same way; now no pool anywhere.
+	for i := 0; i < 5; i++ {
+		if _, ok := s.Next(1); !ok {
+			t.Fatal("rank 1 starved")
+		}
+	}
+	thief := s.Join()
+	if _, ok := s.Steal(thief); ok {
+		t.Fatal("stole a task while everything is in flight")
+	}
+	// A dead rank cannot steal.
+	s.Fail(thief)
+	if _, ok := s.Steal(thief); ok {
+		t.Fatal("dead rank stole a task")
+	}
+	// Out-of-range ranks are refused, not a panic.
+	if _, ok := s.Steal(-1); ok {
+		t.Fatal("negative rank stole a task")
+	}
+	if _, ok := s.Steal(99); ok {
+		t.Fatal("unknown rank stole a task")
+	}
+}
+
+func TestLeaveRequeuesLikeFail(t *testing.T) {
+	s := New(Config{}, 4, 40)
+	s.Next(2)
+	// Static allocation int(0.4*40/4) = 4: one in flight, three pooled.
+	if n := s.Leave(2); n != 4 {
+		t.Fatalf("Leave requeued %d, want 4", n)
+	}
+	if _, ok := s.Next(2); ok {
+		t.Fatal("departed rank was handed a task")
+	}
+	if _, ok := s.Steal(2); ok {
+		t.Fatal("departed rank stole a task")
+	}
+}
+
 func TestFaultPlanQueries(t *testing.T) {
 	fp := &FaultPlan{Faults: []Fault{
 		{Rank: 2, AfterTasks: 5, Kill: true},

@@ -24,6 +24,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 
 	"celeste/internal/core"
 	"celeste/internal/pgas"
@@ -260,7 +261,21 @@ func SaveCheckpoint(path string, ck *core.Checkpoint) error {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// The rename is only durable once the parent directory entry is synced:
+	// without it a crash can leave the old name pointing at nothing even
+	// though both files were individually fsynced.
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	if err := dir.Sync(); err != nil {
+		dir.Close()
+		return err
+	}
+	return dir.Close()
 }
 
 // LoadCheckpoint reads a checkpoint file.

@@ -115,6 +115,20 @@ func TestCheckpointFileSaveLoad(t *testing.T) {
 	if got.Stats.Fits != ck.Stats.Fits {
 		t.Fatal("overwrite did not take")
 	}
+
+	// A save into a freshly created subdirectory exercises the parent-dir
+	// sync after the rename (a dir opened read-only must still Sync).
+	nested := filepath.Join(t.TempDir(), "a", "b")
+	if err := os.MkdirAll(nested, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	npath := filepath.Join(nested, "run.celk")
+	if err := SaveCheckpoint(npath, ck); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(npath); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestCheckpointReaderRejectsCorruption(t *testing.T) {

@@ -45,6 +45,15 @@ type Backend interface {
 	Commit(rank, task int, stats [3]uint64)
 	// Fail retires a dead rank, requeueing its in-flight work. Idempotent.
 	Fail(rank int)
+	// Join admits an elastic worker mid-run with a fresh rank past the
+	// static complement. ok=false refuses the join (run already terminal).
+	Join() (rank int, ok bool)
+	// Leave retires a gracefully departing rank: its work requeues exactly
+	// as on Fail, but the departure is not counted as a failure. Idempotent.
+	Leave(rank int)
+	// Steal asks for a task for an idle rank, pulled from the most-loaded
+	// live rank's undistributed pool when the rank's own supply is dry.
+	Steal(rank int) (task int, status NextStatus)
 	// Get copies stage-input elements into out (len(idx)*width values).
 	Get(rank int, idx []uint64, out []float64) error
 	// Put writes result elements into the live array.
@@ -228,13 +237,26 @@ func (s *coordinator) handle(c net.Conn) {
 		}
 		return
 	}
-	if m.Type != MsgHello {
-		sendError(fw, "net: expected Hello to open the handshake")
-		return
-	}
-	rank := s.assignRank()
-	if rank < 0 {
-		sendError(fw, "net: no rank available (worker complement already full)")
+	var rank int
+	switch m.Type {
+	case MsgHello:
+		rank = s.assignRank()
+		if rank < 0 {
+			sendError(fw, "net: no rank available (worker complement already full)")
+			return
+		}
+	case MsgJoin:
+		// Elastic admission bypasses the static complement and the connect
+		// grace seal: the backend mints a fresh rank and the joiner acquires
+		// work by stealing. The rest of the handshake is identical.
+		r, ok := s.b.Join()
+		if !ok {
+			sendError(fw, "net: join refused (run is terminal)")
+			return
+		}
+		rank = r
+	default:
+		sendError(fw, "net: expected Hello or Join to open the handshake")
 		return
 	}
 	cfg := s.cfg
@@ -280,8 +302,14 @@ func (s *coordinator) serveRank(c net.Conn, fw *frameWriter, rank int) error {
 		switch m.Type {
 		case MsgHeartbeat:
 			// Liveness only; reading it already refreshed the deadline.
-		case MsgTaskReq:
-			task, status := s.b.Next(rank)
+		case MsgTaskReq, MsgSteal:
+			var task int
+			var status NextStatus
+			if m.Type == MsgSteal {
+				task, status = s.b.Steal(rank)
+			} else {
+				task, status = s.b.Next(rank)
+			}
 			var resp Message
 			switch status {
 			case NextTask:
@@ -299,6 +327,14 @@ func (s *coordinator) serveRank(c net.Conn, fw *frameWriter, rank int) error {
 			if status == NextShutdown || status == NextAbort {
 				return nil
 			}
+		case MsgLeave:
+			// Graceful departure: requeue the rank's work without counting a
+			// failure, confirm with a shutdown, and end the session cleanly.
+			s.b.Leave(rank)
+			if err := fw.send(&Message{Type: MsgShutdown, Reason: ShutdownComplete}); err != nil {
+				return err
+			}
+			return nil
 		case MsgTaskDone:
 			s.b.Commit(rank, int(m.Task), m.Stats)
 		case MsgGet:

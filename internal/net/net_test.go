@@ -26,10 +26,13 @@ type fakeBackend struct {
 	inflight  map[int][]int // rank -> tasks handed out, not yet committed
 	committed map[int][3]uint64
 	failed    map[int]bool
+	left      map[int]bool
 	byRank    map[int][]int
 	aborted   bool
 	gated     bool // while true, Next only ever answers Wait
 	waits     int  // serve this many Wait responses before the first task
+	joined    int  // elastic ranks admitted
+	steals    int  // MsgSteal pulls served
 
 	prev, cur *pgas.Array
 
@@ -47,6 +50,7 @@ func newFakeBackend(workers, width, nTasks int) *fakeBackend {
 		inflight:  make(map[int][]int),
 		committed: make(map[int][3]uint64),
 		failed:    make(map[int]bool),
+		left:      make(map[int]bool),
 		byRank:    make(map[int][]int),
 		prev:      pgas.New(nTasks, width, workers),
 		cur:       pgas.New(nTasks, width, workers),
@@ -127,6 +131,36 @@ func (b *fakeBackend) Fail(rank int) {
 	b.failed[rank] = true
 	b.requeued = append(b.requeued, b.inflight[rank]...)
 	b.inflight[rank] = nil
+}
+
+func (b *fakeBackend) Join() (int, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return 0, false
+	}
+	rank := int(b.cfg.Workers) + b.joined
+	b.joined++
+	return rank, true
+}
+
+func (b *fakeBackend) Leave(rank int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.left[rank] {
+		return
+	}
+	b.left[rank] = true
+	b.requeued = append(b.requeued, b.inflight[rank]...)
+	b.inflight[rank] = nil
+}
+
+func (b *fakeBackend) Steal(rank int) (int, NextStatus) {
+	b.mu.Lock()
+	b.steals++
+	b.mu.Unlock()
+	// The scripted pool is global, so a steal serves like a plain pull.
+	return b.Next(rank)
 }
 
 func (b *fakeBackend) Get(rank int, idx []uint64, out []float64) error {
@@ -524,6 +558,225 @@ func TestServeConnectGraceFailsAbsentRanks(t *testing.T) {
 	}
 	if err := join(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestElasticJoinAdmittedAfterGrace: the connect grace seals static rank
+// assignment (a plain Hello is refused), but an elastic Join is admitted
+// with a fresh rank past the static complement and participates in the run.
+func TestElasticJoinAdmittedAfterGrace(t *testing.T) {
+	b := newFakeBackend(2, 3, 6)
+	b.gated = true // hold the run open until the joiner is in
+	addr, join := startServe(t, b, ServeOptions{
+		DeadAfter:    5 * time.Second,
+		ConnectGrace: 80 * time.Millisecond,
+	})
+	workerErr := make(chan error, 1)
+	go func() { workerErr <- runWorkerLoop(t, addr, b.cfg.RunHash) }()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b.mu.Lock()
+		sealed := b.failed[1] // the absent static rank was failed: grace fired
+		b.mu.Unlock()
+		if sealed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("grace never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := Dial(addr, DialOptions{Timeout: time.Second}); err == nil {
+		t.Fatal("post-grace Hello was accepted")
+	}
+	cl, err := Dial(addr, DialOptions{Timeout: time.Second, Poll: time.Millisecond, Elastic: true})
+	if err != nil {
+		t.Fatalf("elastic join refused: %v", err)
+	}
+	defer cl.Close()
+	if cl.Rank() != 2 {
+		t.Fatalf("joiner got rank %d, want 2 (past the static complement)", cl.Rank())
+	}
+	if err := cl.Ready(b.cfg.RunHash, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	b.gated = false
+	b.mu.Unlock()
+	if err := runWorkerLoopOn(cl); err != nil {
+		t.Fatalf("joiner: %v", err)
+	}
+	if err := <-workerErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.committed) != 6 {
+		t.Fatalf("%d tasks committed, want 6", len(b.committed))
+	}
+	if b.failed[2] || b.left[2] {
+		t.Error("joiner's clean completion was recorded as failed/left")
+	}
+}
+
+// TestLeaveRequeuesWithoutFailing: a worker that announces a graceful Leave
+// has its in-flight work requeued but is not counted as a failure.
+func TestLeaveRequeuesWithoutFailing(t *testing.T) {
+	b := newFakeBackend(2, 3, 4)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 2 * time.Second})
+	cl, err := Dial(addr, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ready(b.cfg.RunHash, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cl.NextTask(); err != nil || !ok {
+		t.Fatalf("task pull: ok=%v err=%v", ok, err)
+	}
+	if err := cl.Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	cl.Close()
+	b.mu.Lock()
+	if !b.left[0] {
+		t.Error("leaver not recorded")
+	}
+	if b.failed[0] {
+		t.Error("graceful leave counted as a failure")
+	}
+	if len(b.requeued) != 1 {
+		t.Errorf("leaver's in-flight task not requeued (requeued=%v)", b.requeued)
+	}
+	b.mu.Unlock()
+	// The survivor finishes everything, including the requeued task.
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.committed) != 4 {
+		t.Errorf("%d tasks committed, want 4", len(b.committed))
+	}
+}
+
+// TestWaitTriggersSteal: a Wait answer makes the client try one Steal pull
+// before sleeping, so an idle rank load-balances instead of spinning.
+func TestWaitTriggersSteal(t *testing.T) {
+	b := newFakeBackend(1, 3, 3)
+	b.waits = 2
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 2 * time.Second})
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.steals == 0 {
+		t.Error("Wait responses never triggered a steal pull")
+	}
+	if len(b.committed) != 3 {
+		t.Errorf("%d tasks committed, want 3", len(b.committed))
+	}
+}
+
+// TestClientCloseConcurrent: Close must be safe against itself (a supervisor
+// racing the run loop's deferred teardown) — the old check-then-close on the
+// heartbeat channel double-closed and panicked under this test.
+func TestClientCloseConcurrent(t *testing.T) {
+	b := newFakeBackend(1, 3, 1)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: time.Second})
+	cl, err := Dial(addr, DialOptions{Poll: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ready(b.cfg.RunHash, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl.Close()
+		}()
+	}
+	wg.Wait()
+	// The backend never completes its task; finish the run with a fresh
+	// elastic worker (the static complement of one rank is spent) so Serve
+	// exits. The closed client's rank is failed by the coordinator and its
+	// task requeues.
+	cl2, err := Dial(addr, DialOptions{Poll: time.Millisecond, Elastic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	if err := cl2.Ready(b.cfg.RunHash, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := runWorkerLoopOn(cl2); err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHeartbeatFailureSurfaced: when the heartbeat send fails (coordinator
+// gone), the client records the error and tears the connection down so the
+// work loop notices promptly — it must not keep computing for a coordinator
+// that has already requeued its tasks.
+func TestHeartbeatFailureSurfaced(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// A minimal fake coordinator: handshake, then vanish.
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		bw := bufio.NewWriter(c)
+		if _, err := ReadMessage(c); err != nil { // Hello
+			return
+		}
+		cfg := RunConfig{Workers: 1, Width: 3, Rounds: 1, MaxIter: 1,
+			NTasks: 1, RunHash: 1, TargetWork: 1}
+		WriteMessage(bw, &Message{Type: MsgWelcome, Rank: 0, Welcome: &cfg})
+		bw.Flush()
+		ReadMessage(c) // Ready
+		c.Close()      // coordinator dies
+	}()
+	cl, err := Dial(l.Addr().String(), DialOptions{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Ready(1, 5*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for cl.HeartbeatErr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("heartbeat failure never surfaced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The heartbeat tore the connection down: the next exchange errors
+	// immediately instead of wedging until the response timeout.
+	if _, _, err := cl.NextTask(); err == nil {
+		t.Error("task pull succeeded over a dead connection")
 	}
 }
 

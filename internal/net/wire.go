@@ -38,8 +38,9 @@ var wireMagic = [4]byte{'C', 'E', 'L', 'W'}
 
 // ProtocolVersion is the wire protocol version spoken by this build. Version
 // negotiation is strict equality: a frame header carrying any other version
-// is refused before its payload is interpreted.
-const ProtocolVersion = 1
+// is refused before its payload is interpreted. Version 2 added the elastic
+// membership traffic (MsgJoin/MsgLeave/MsgSteal).
+const ProtocolVersion = 2
 
 // Message types. Direction is noted as w→c (worker to coordinator) or c→w.
 const (
@@ -58,6 +59,9 @@ const (
 	MsgError                       // either: fatal protocol or state error
 	MsgSnapshotReq                 // w→c: fetch a whole PGAS snapshot
 	MsgSnapshot                    // c→w: versioned snapshot payload
+	MsgJoin                        // w→c: elastic handshake; admitted after the connect grace
+	MsgLeave                       // w→c: graceful departure; coordinator requeues the rank's work
+	MsgSteal                       // w→c: idle pull from the most-loaded live rank's pool
 	msgTypeEnd
 )
 
@@ -207,7 +211,7 @@ func (d *dec) floats(count uint64) ([]float64, error) {
 func WriteMessage(w io.Writer, m *Message) error {
 	var e enc
 	switch m.Type {
-	case MsgHello, MsgTaskReq, MsgWait, MsgHeartbeat:
+	case MsgHello, MsgTaskReq, MsgWait, MsgHeartbeat, MsgJoin, MsgLeave, MsgSteal:
 		// empty payload
 	case MsgWelcome:
 		if m.Welcome == nil {
@@ -363,7 +367,7 @@ func decodePayload(typ byte, payload []byte) (*Message, error) {
 	m := &Message{Type: typ}
 	d := &dec{b: payload}
 	switch typ {
-	case MsgHello, MsgTaskReq, MsgWait, MsgHeartbeat:
+	case MsgHello, MsgTaskReq, MsgWait, MsgHeartbeat, MsgJoin, MsgLeave, MsgSteal:
 		// empty payload
 	case MsgWelcome:
 		var c RunConfig
@@ -389,8 +393,10 @@ func decodePayload(typ byte, payload []byte) (*Message, error) {
 		if err := c.validate(); err != nil {
 			return nil, err
 		}
-		if uint64(m.Rank) >= uint64(c.Workers) {
-			return nil, fmt.Errorf("net: welcome assigns rank %d of %d workers", m.Rank, c.Workers)
+		// Elastic joiners are assigned ranks past the static Workers
+		// complement, so the bound is a sanity cap, not Workers.
+		if m.Rank >= 1<<20 {
+			return nil, fmt.Errorf("net: welcome assigns implausible rank %d", m.Rank)
 		}
 		m.Welcome = &c
 	case MsgReady:

@@ -49,6 +49,9 @@ func sampleMessages() []*Message {
 		{Type: MsgError, Text: "something broke"},
 		{Type: MsgSnapshotReq, Which: SnapStageStart},
 		{Type: MsgSnapshot, Which: SnapCur, Snap: sampleSnapshot()},
+		{Type: MsgJoin},
+		{Type: MsgLeave},
+		{Type: MsgSteal},
 	}
 }
 
@@ -112,7 +115,7 @@ func TestReadMessageRejectsMalformedFrames(t *testing.T) {
 		{"NaN params", nanParams, "non-finite"},
 		{"welcome rank out of range", func() []byte {
 			b := append([]byte(nil), validWelcome...)
-			binary.LittleEndian.PutUint32(b[10:], 77) // rank 77 of 4 workers
+			binary.LittleEndian.PutUint32(b[10:], 1<<21) // past the elastic rank cap
 			return b
 		}(), "rank"},
 		{"welcome zero width", func() []byte {

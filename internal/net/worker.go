@@ -36,8 +36,12 @@ type Client struct {
 	reqMu sync.Mutex // one request/response exchange at a time
 	wmu   sync.Mutex // frame-level write interleaving (requests vs heartbeats)
 
-	hbStop chan struct{}
-	hbDone chan struct{}
+	hbStop    chan struct{}
+	hbDone    chan struct{}
+	closeOnce sync.Once
+
+	hbMu  sync.Mutex
+	hbErr error // why the heartbeat loop died, if it died on its own
 
 	poll        time.Duration
 	respTimeout time.Duration
@@ -61,6 +65,11 @@ type DialOptions struct {
 	// the coordinator's DeadAfter. Responses are served promptly even
 	// during checkpoints, so the default 60s is generous. Default 60s.
 	ResponseTimeout time.Duration
+	// Elastic opens the handshake with Join instead of Hello: the
+	// coordinator admits the worker mid-run (even after the connect grace)
+	// with a fresh rank past the static complement, and the worker acquires
+	// tasks by stealing from loaded ranks.
+	Elastic bool
 }
 
 func (o *DialOptions) defaults() {
@@ -97,7 +106,11 @@ func Dial(addr string, opts DialOptions) (*Client, error) {
 		respTimeout: opts.ResponseTimeout,
 	}
 	conn.SetDeadline(time.Now().Add(opts.Timeout))
-	if err := c.fw.send(&Message{Type: MsgHello}); err != nil {
+	hello := MsgHello
+	if opts.Elastic {
+		hello = MsgJoin
+	}
+	if err := c.fw.send(&Message{Type: hello}); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -136,13 +149,11 @@ func (c *Client) Ready(hash uint64, heartbeatEvery time.Duration) error {
 	return nil
 }
 
-// Close tears the connection down and stops the heartbeat.
+// Close tears the connection down and stops the heartbeat. Safe to call
+// concurrently and more than once (the run loop's deferred teardown may race
+// a supervisor's Close).
 func (c *Client) Close() error {
-	select {
-	case <-c.hbStop:
-	default:
-		close(c.hbStop)
-	}
+	c.closeOnce.Do(func() { close(c.hbStop) })
 	return c.conn.Close()
 }
 
@@ -156,10 +167,34 @@ func (c *Client) heartbeatLoop(every time.Duration) {
 			return
 		case <-t.C:
 			if err := c.send(&Message{Type: MsgHeartbeat}); err != nil {
+				select {
+				case <-c.hbStop:
+					// The send lost a race with Close; not a failure.
+					return
+				default:
+				}
+				// A dead heartbeat means the coordinator will declare this
+				// rank dead and requeue its tasks — computing on is pure
+				// waste. Record why and kill the connection so the work
+				// loop's next exchange errors out promptly; the worker
+				// supervisor can then rejoin elastically or abort.
+				c.hbMu.Lock()
+				c.hbErr = err
+				c.hbMu.Unlock()
+				c.conn.Close()
 				return
 			}
 		}
 	}
+}
+
+// HeartbeatErr reports the error that killed the heartbeat loop, or nil if
+// the heartbeat is healthy (or was stopped by Close). A non-nil value means
+// the coordinator has likely already requeued this rank's work.
+func (c *Client) HeartbeatErr() error {
+	c.hbMu.Lock()
+	defer c.hbMu.Unlock()
+	return c.hbErr
 }
 
 // send writes one frame under the write lock, bounded by the response
@@ -199,13 +234,16 @@ func (c *Client) roundTrip(req *Message) (*Message, error) {
 
 // NextTask pulls the next global task index, transparently retrying through
 // Wait responses (the remote pool is dry while tasks are in flight
-// elsewhere — a death may yet requeue them to us). ok=false with a nil
-// error means the run completed and the worker should exit cleanly; an
-// aborted run surfaces as ErrAborted so supervisors can tell the two exits
-// apart.
+// elsewhere — a death may yet requeue them to us). A Wait is answered with
+// one Steal attempt — pulling from the most-loaded live rank's pool — before
+// the worker sleeps, so an idle rank load-balances instead of spinning.
+// ok=false with a nil error means the run completed and the worker should
+// exit cleanly; an aborted run surfaces as ErrAborted so supervisors can
+// tell the two exits apart.
 func (c *Client) NextTask() (task int, ok bool, err error) {
+	req := byte(MsgTaskReq)
 	for {
-		m, err := c.roundTrip(&Message{Type: MsgTaskReq})
+		m, err := c.roundTrip(&Message{Type: req})
 		if err != nil {
 			return 0, false, err
 		}
@@ -216,6 +254,11 @@ func (c *Client) NextTask() (task int, ok bool, err error) {
 			}
 			return int(m.Task), true, nil
 		case MsgWait:
+			if req == MsgTaskReq {
+				req = MsgSteal // dry pool: try stealing before sleeping
+				continue
+			}
+			req = MsgTaskReq
 			time.Sleep(c.poll)
 		case MsgShutdown:
 			if m.Reason == ShutdownAborted {
@@ -226,6 +269,20 @@ func (c *Client) NextTask() (task int, ok bool, err error) {
 			return 0, false, fmt.Errorf("net: unexpected reply type %d to a task pull", m.Type)
 		}
 	}
+}
+
+// Leave announces a graceful departure: the coordinator requeues whatever
+// this rank holds (without counting a failure) and confirms with a
+// shutdown. The caller should Close afterwards.
+func (c *Client) Leave() error {
+	m, err := c.roundTrip(&Message{Type: MsgLeave})
+	if err != nil {
+		return err
+	}
+	if m.Type != MsgShutdown {
+		return fmt.Errorf("net: unexpected reply type %d to a leave", m.Type)
+	}
+	return nil
 }
 
 // TaskDone reports a committed task with its work stats (fits, Newton

@@ -245,6 +245,58 @@ func (a *Array) Snapshot() *Snapshot {
 	return s
 }
 
+// SnapshotDelta captures the array like Snapshot, but shares the previous
+// snapshot's shard slice for every shard whose write counter (and geometry)
+// is unchanged since prev was captured — an incremental capture that copies
+// only the shards written since the last checkpoint. Sharing is safe because
+// snapshot shards are immutable copies; the caller must pass a prev that was
+// captured from THIS array (a snapshot of a different or replaced array can
+// alias version counters and must not be reused — pass nil to force a full
+// copy).
+func (a *Array) SnapshotDelta(prev *Snapshot) *Snapshot {
+	if prev == nil || prev.N != a.n || prev.Width != a.width || prev.Ranks != a.nRanks {
+		return a.Snapshot()
+	}
+	s := &Snapshot{
+		N: a.n, Width: a.width, Ranks: a.nRanks,
+		Shards:   make([][]float64, a.nRanks),
+		Versions: make([]uint64, a.nRanks),
+	}
+	for r := range a.shards {
+		sh := &a.shards[r]
+		sh.mu.RLock()
+		if sh.version == prev.Versions[r] && len(prev.Shards[r]) == len(sh.data) {
+			s.Shards[r] = prev.Shards[r]
+		} else {
+			s.Shards[r] = append([]float64(nil), sh.data...)
+		}
+		s.Versions[r] = sh.version
+		sh.mu.RUnlock()
+	}
+	return s
+}
+
+// RepartitionRanks returns a new array with the same element stream block-
+// partitioned over a different rank count, carrying the traffic counters
+// over — the live-array form of Snapshot.Repartition, used when the rank
+// set changes mid-run (elastic membership). Shard write counters restart at
+// zero, exactly as on a checkpoint repartition.
+func (a *Array) RepartitionRanks(ranks int) (*Array, error) {
+	s, err := a.Snapshot().Repartition(ranks)
+	if err != nil {
+		return nil, err
+	}
+	out, err := FromSnapshot(s)
+	if err != nil {
+		return nil, err
+	}
+	l, r, b := a.Stats()
+	out.localOps.Store(l)
+	out.remoteOps.Store(r)
+	out.bytes.Store(b)
+	return out, nil
+}
+
 // Validate checks a snapshot's internal consistency (dimensions versus shard
 // lengths), e.g. after deserialization from an untrusted checkpoint file.
 func (s *Snapshot) Validate() error {

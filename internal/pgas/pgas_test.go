@@ -353,3 +353,83 @@ func TestStressConcurrentMixedOps(t *testing.T) {
 		t.Error("no remote traffic recorded despite cross-rank access")
 	}
 }
+
+func TestSnapshotDeltaSharesUnchangedShards(t *testing.T) {
+	a := New(8, 3, 4)
+	buf := []float64{1, 2, 3}
+	for i := 0; i < 8; i++ {
+		a.Put(0, i, buf)
+	}
+	base := a.Snapshot()
+	// Write only into rank 2's shard (elements 4,5 with 2 per rank).
+	buf[0] = 42
+	a.Put(0, 4, buf)
+	delta := a.SnapshotDelta(base)
+	if err := delta.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		shared := len(delta.Shards[r]) > 0 && len(base.Shards[r]) > 0 &&
+			&delta.Shards[r][0] == &base.Shards[r][0]
+		if r == 2 {
+			if shared {
+				t.Error("written shard aliases the previous snapshot")
+			}
+			if delta.Versions[r] != base.Versions[r]+1 {
+				t.Errorf("written shard version %d, want %d", delta.Versions[r], base.Versions[r]+1)
+			}
+			if delta.Shards[r][0] != 42 {
+				t.Error("written shard does not carry the new value")
+			}
+		} else {
+			if !shared {
+				t.Errorf("unchanged shard %d was copied, not shared", r)
+			}
+		}
+	}
+	// The shared shards are immutable: a later write must not leak into the
+	// already-captured delta.
+	buf[0] = 99
+	a.Put(0, 0, buf)
+	if delta.Shards[0][0] == 99 {
+		t.Error("captured snapshot mutated by a later write")
+	}
+	// A geometry-mismatched prev forces a full copy, not a panic.
+	full := a.SnapshotDelta(&Snapshot{N: 1, Width: 1, Ranks: 1,
+		Shards: [][]float64{{0}}, Versions: []uint64{0}})
+	if err := full.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if full.Shards[0][0] != 99 {
+		t.Error("full fallback does not reflect the live array")
+	}
+}
+
+func TestRepartitionRanksPreservesContentAndCounters(t *testing.T) {
+	a := New(10, 2, 3)
+	buf := []float64{0, 0}
+	for i := 0; i < 10; i++ {
+		buf[0], buf[1] = float64(i), -float64(i)
+		a.Put(1, i, buf)
+	}
+	l0, r0, b0 := a.Stats()
+	out, err := a.RepartitionRanks(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		out.Get(0, i, buf)
+		if buf[0] != float64(i) || buf[1] != -float64(i) {
+			t.Fatalf("element %d = %v after repartition", i, buf)
+		}
+	}
+	l1, r1, b1 := out.Stats()
+	// The new array's counters start from the old totals (plus the Gets just
+	// issued above).
+	if l1+r1 != l0+r0+10 || b1 != b0+10*2*8 {
+		t.Errorf("counters not carried: %d/%d/%d vs %d/%d/%d", l1, r1, b1, l0, r0, b0)
+	}
+	if _, err := a.RepartitionRanks(0); err == nil {
+		t.Error("repartition over 0 ranks accepted")
+	}
+}
