@@ -345,6 +345,7 @@ func BenchmarkHotPath(b *testing.B) {
 		{"elbo-evalvalue", benchfix.BenchElboEvalValue},
 		{"vi-fit", benchfix.BenchViFit},
 		{"core-process", benchfix.BenchCoreProcess},
+		{"catalog-query", benchfix.BenchCatalogQuery},
 	} {
 		b.Run(sub.name, func(b *testing.B) {
 			b.ReportAllocs()

@@ -19,6 +19,7 @@
 package celeste
 
 import (
+	"celeste/internal/catserve"
 	"celeste/internal/cluster"
 	"celeste/internal/core"
 	"celeste/internal/dtree"
@@ -81,6 +82,19 @@ type (
 	Transport = cnet.Transport
 	// WorkerOptions configures one TCP worker process (see RunWorker).
 	WorkerOptions = core.WorkerOptions
+	// CatalogStore is the catalog-as-a-service index: a quadtree over
+	// (ra, dec) holding posterior summaries behind an RCU snapshot, fed
+	// incrementally by a running inference (InferOptions.Catalog) or built
+	// once from a finished catalog (NewCatalogStore).
+	CatalogStore = catserve.Store
+	// CatalogSnapshot is one immutable version of a CatalogStore, answering
+	// cone / box / brightest-N queries without locking.
+	CatalogSnapshot = catserve.Snapshot
+	// CatalogServer serves a CatalogStore over HTTP with a per-snapshot
+	// response cache.
+	CatalogServer = catserve.Server
+	// CatalogOptions tunes catalog index construction and caching.
+	CatalogOptions = catserve.Options
 )
 
 // ErrRunAborted wraps the error returned when a checkpoint hook stops a run.
@@ -165,6 +179,17 @@ type InferOptions struct {
 	// the in-process goroutine ranks: cfg.Processes worker processes (each
 	// started with RunWorker or `celeste -worker`) serve the run's tasks.
 	Transport *Transport
+
+	// Catalog, when non-nil, receives the run's posterior summaries as they
+	// commit: every CatalogEvery task completions the touched sources are
+	// re-summarized from the live parameter array and folded into the store,
+	// and at run completion the store is brought byte-identical to the
+	// returned catalog. Queries against the store (directly or through a
+	// CatalogServer) run concurrently with the fit, lock-free.
+	Catalog *CatalogStore
+	// CatalogEvery batches task commits per catalog update (0 inherits
+	// CheckpointEvery, else every commit updates).
+	CatalogEvery int
 }
 
 // Infer runs the full pipeline on a survey: two-stage sky partition from the
@@ -202,6 +227,18 @@ func InferWithOptions(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig,
 		t.TargetWork = tw
 		opts.Transport = &t
 	}
+	runOpts := core.RunOptions{
+		CheckpointEvery: opts.CheckpointEvery,
+		OnCheckpoint:    opts.OnCheckpoint,
+		Resume:          opts.Resume,
+		Faults:          opts.Faults,
+		Transport:       opts.Transport,
+	}
+	if opts.Catalog != nil {
+		store := opts.Catalog
+		runOpts.OnCatalog = store.Apply
+		runOpts.CatalogEvery = opts.CatalogEvery
+	}
 	run, err := core.RunWithOptions(sv, initCatalog, tasks, core.Config{
 		Threads:    cfg.Threads,
 		Rounds:     cfg.Rounds,
@@ -209,13 +246,7 @@ func InferWithOptions(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig,
 		Seed:       cfg.Seed,
 		Fit:        vi.Options{MaxIter: cfg.MaxIter, EagerHessian: cfg.EagerHessian},
 		ColdSweeps: cfg.ColdSweeps,
-	}, core.RunOptions{
-		CheckpointEvery: opts.CheckpointEvery,
-		OnCheckpoint:    opts.OnCheckpoint,
-		Resume:          opts.Resume,
-		Faults:          opts.Faults,
-		Transport:       opts.Transport,
-	})
+	}, runOpts)
 	if run == nil {
 		return nil, err
 	}
@@ -232,6 +263,20 @@ func InferWithOptions(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig,
 		LeftRanks:      run.LeftRanks,
 		StolenTasks:    run.StolenTasks,
 	}, err
+}
+
+// NewCatalogStore builds the spatial catalog index over a footprint. The
+// entries seed the index (pass the initialization catalog to serve a live
+// run through InferOptions.Catalog, or a finished catalog to serve a static
+// file); source i of every later update must refer to entries[i].
+func NewCatalogStore(bounds SkyBox, entries []CatalogEntry, opts CatalogOptions) *CatalogStore {
+	return catserve.NewStore(bounds, entries, opts)
+}
+
+// NewCatalogServer wraps a catalog store in the HTTP query layer
+// (cone / box / brightest-N / stats endpoints with per-snapshot caching).
+func NewCatalogServer(store *CatalogStore) *CatalogServer {
+	return catserve.NewServer(store)
 }
 
 // RunWorker joins a TCP run as one worker process: it connects to the

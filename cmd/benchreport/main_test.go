@@ -9,7 +9,7 @@ import (
 // recorded-but-unreferenced lane regresses silently (elbo_evalvalue and
 // core_process did, for two PRs), so the gate treats it as an error.
 func TestAllRecordedLanesHaveSeedReferences(t *testing.T) {
-	recorded := []string{"elbo_eval", "elbo_evalgrad", "elbo_evalvalue", "vi_fit", "core_process"}
+	recorded := []string{"elbo_eval", "elbo_evalgrad", "elbo_evalvalue", "vi_fit", "core_process", "catalog_query"}
 	for _, name := range recorded {
 		ref, ok := seedReference[name]
 		if !ok || ref.NsPerOp <= 0 {

@@ -25,6 +25,15 @@
 //
 //	celeste -sky ./sky -serve :7021
 //	celeste -sky ./sky -worker host:7021 &   # × N
+//
+// The catalog is queryable over HTTP — live during a fit (served from RCU
+// snapshots refreshed as tasks commit) or from a finished catalog file:
+//
+//	celeste -sky ./sky -query :8080              # fit + live query service
+//	celeste -query :8080 -load catalog.jsonl     # serve a finished catalog
+//
+// Endpoints: /cone?ra=&dec=&r=, /box?ramin=&decmin=&ramax=&decmax=,
+// /brightest?n=[&band=], /stats (all accept &limit= where meaningful).
 package main
 
 import (
@@ -34,10 +43,13 @@ import (
 	"log"
 	"math"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
+	"os/signal"
 	"path/filepath"
 	"strconv"
+	"syscall"
 	"time"
 
 	"celeste"
@@ -62,6 +74,8 @@ type flagConfig struct {
 	Elastic    bool          // -elastic
 	ChurnKill  time.Duration // -churn-kill
 	ChurnAdd   time.Duration // -churn-add
+	Query      string        // -query listen address
+	Load       string        // -load catalog path
 }
 
 // validateFlags rejects contradictory or silently misbehaving flag
@@ -94,6 +108,13 @@ func validateFlags(fc flagConfig) error {
 		return errors.New("-churn-kill and -churn-add require -spawn: churn drives the locally spawned worker pool")
 	case fc.ChurnKill > 0 && fc.Spawn < 2:
 		return errors.New("-churn-kill needs -spawn of at least 2 so a survivor can finish the run")
+	case fc.Load != "" && fc.Query == "":
+		return errors.New("-load requires -query: a loaded catalog is only used to serve queries")
+	case fc.Load != "" && (fc.Worker != "" || fc.Serve != "" || fc.SpawnSet ||
+		fc.Checkpoint != "" || fc.Resume):
+		return errors.New("-load serves a finished catalog without running inference; it cannot combine with -worker, -serve, -spawn, -checkpoint, or -resume")
+	case fc.Query != "" && fc.Worker != "":
+		return errors.New("-query only applies to the coordinator or to -load: a worker process does not own catalog state")
 	}
 	return nil
 }
@@ -115,12 +136,15 @@ func main() {
 	elastic := flag.Bool("elastic", false, "with -worker: join the run elastically mid-run (admitted after the connect grace with a fresh rank)")
 	churnKill := flag.Duration("churn-kill", 0, "with -spawn: SIGKILL one spawned worker after this delay (its work requeues to the survivors)")
 	churnAdd := flag.Duration("churn-add", 0, "with -spawn: start one extra elastic worker after this delay")
+	queryAddr := flag.String("query", "", "serve catalog queries over HTTP on this address, live during the fit and from the final catalog after it")
+	loadPath := flag.String("load", "", "with -query: serve this finished catalog file instead of running inference")
 	flag.Parse()
 
 	fc := flagConfig{
 		Serve: *serveAddr, Worker: *workerAddr, Spawn: *spawn,
 		Checkpoint: *ckPath, Resume: *resume, Procs: *procs, Threads: *threads,
 		Elastic: *elastic, ChurnKill: *churnKill, ChurnAdd: *churnAdd,
+		Query: *queryAddr, Load: *loadPath,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "spawn" {
@@ -129,6 +153,25 @@ func main() {
 	})
 	if err := validateFlags(fc); err != nil {
 		log.Fatal(err)
+	}
+
+	if *loadPath != "" {
+		// Query-only mode: index a finished catalog file and serve it until
+		// interrupted. No survey directory, no inference.
+		cat, err := imageio.ReadCatalog(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store := celeste.NewCatalogStore(catalogBounds(cat), cat, celeste.CatalogOptions{})
+		stop, bound, err := serveCatalog(store, *queryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Printf("serving %d catalog entries on http://%s (/cone /box /brightest /stats); Ctrl-C to exit\n",
+			len(cat), bound)
+		waitForSignal()
+		return
 	}
 
 	images, truth, err := imageio.ReadSurveyDir(*sky)
@@ -182,6 +225,21 @@ func main() {
 		}
 	}
 
+	if *queryAddr != "" {
+		// Live catalog service: the store is seeded with the init catalog and
+		// refreshed by the run's commit hook; queries are answered throughout
+		// the fit from RCU snapshots, and after the final flush they return
+		// entries byte-identical to the written catalog.
+		store := celeste.NewCatalogStore(sv.Config.Region, init, celeste.CatalogOptions{})
+		opts.Catalog = store
+		stop, bound, err := serveCatalog(store, *queryAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stop()
+		fmt.Printf("catalog queries live on http://%s (/cone /box /brightest /stats)\n", bound)
+	}
+
 	var spawned []*exec.Cmd
 	if *serveAddr != "" || fc.SpawnSet {
 		listenAddr := *serveAddr
@@ -210,28 +268,20 @@ func main() {
 			if *churnAdd > 0 {
 				addr := l.Addr().String()
 				joiner := make(chan *exec.Cmd, 1)
-				time.AfterFunc(*churnAdd, func() {
+				// The callback always sends exactly one value (nil if the
+				// spawn failed), so a fired timer guarantees the reaper a
+				// value to drain.
+				timer := time.AfterFunc(*churnAdd, func() {
 					extra, err := spawnWorkers(addr, 1, *sky, *threads, true)
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "churn: adding worker: %v\n", err)
-						close(joiner)
+						joiner <- nil
 						return
 					}
 					fmt.Printf("churn: added elastic worker %d\n", extra[0].Process.Pid)
 					joiner <- extra[0]
 				})
-				defer func() {
-					// Reap the late joiner too (nil if the add failed or the
-					// run ended before the timer fired — then stop the timer
-					// path by draining with a default).
-					select {
-					case cmd, ok := <-joiner:
-						if ok && cmd != nil {
-							cmd.Wait()
-						}
-					default:
-					}
-				}()
+				defer reapJoiner(timer, joiner)
 			}
 		}
 	}
@@ -273,21 +323,99 @@ func main() {
 		flops.Rate(res.Visits, elapsed.Seconds())/1e9)
 
 	if len(truth) > 0 {
-		var pos, mag float64
-		var n float64
-		for i := range truth {
-			if i >= len(res.Catalog) {
-				break
-			}
-			pos += geom.Dist(truth[i].Pos, res.Catalog[i].Pos) / sv.Config.PixScale
-			tf, ef := truth[i].Flux[model.RefBand], res.Catalog[i].Flux[model.RefBand]
-			if tf > 0 && ef > 0 {
-				mag += math.Abs(2.5 * math.Log10(ef/tf))
-			}
-			n++
+		fmt.Println(accuracySummary(truth, res.Catalog, sv.Config.PixScale))
+	}
+
+	if *queryAddr != "" {
+		fmt.Println("fit complete; still serving catalog queries (Ctrl-C to exit)")
+		waitForSignal()
+	}
+}
+
+// serveCatalog starts the HTTP query layer over a catalog store, returning
+// the bound address and a closer.
+func serveCatalog(store *celeste.CatalogStore, addr string) (stop func(), bound string, err error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: celeste.NewCatalogServer(store).Handler()}
+	go srv.Serve(l)
+	return func() { srv.Close() }, l.Addr().String(), nil
+}
+
+// waitForSignal blocks until SIGINT or SIGTERM.
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+}
+
+// catalogBounds computes the footprint of a loaded catalog, padded so every
+// position is interior and degenerate (single-point) extents stay valid.
+func catalogBounds(entries []model.CatalogEntry) geom.Box {
+	if len(entries) == 0 {
+		return geom.NewBox(0, 0, 1, 1)
+	}
+	b := geom.Box{
+		MinRA: entries[0].Pos.RA, MinDec: entries[0].Pos.Dec,
+		MaxRA: entries[0].Pos.RA, MaxDec: entries[0].Pos.Dec,
+	}
+	for i := range entries {
+		p := entries[i].Pos
+		b.MinRA = math.Min(b.MinRA, p.RA)
+		b.MinDec = math.Min(b.MinDec, p.Dec)
+		b.MaxRA = math.Max(b.MaxRA, p.RA)
+		b.MaxDec = math.Max(b.MaxDec, p.Dec)
+	}
+	return b.Expand(1e-3)
+}
+
+// accuracySummary scores the fitted catalog against ground truth, pairing
+// entries by index. The |Δmag| mean divides by the number of pairs that
+// actually contributed (both fluxes positive — magnitudes are undefined
+// otherwise), not the number of position pairs: dividing by the larger
+// count would bias the reported photometric error low whenever a flux
+// collapsed to zero, which is exactly when the fit is worst.
+func accuracySummary(truth, catalog []model.CatalogEntry, pixScale float64) string {
+	var pos, mag float64
+	var n, nMag int
+	for i := range truth {
+		if i >= len(catalog) {
+			break
 		}
-		fmt.Printf("vs truth: mean position error %.3f px, mean |Δmag| %.3f\n",
-			pos/n, mag/n)
+		pos += geom.Dist(truth[i].Pos, catalog[i].Pos) / pixScale
+		n++
+		tf, ef := truth[i].Flux[model.RefBand], catalog[i].Flux[model.RefBand]
+		if tf > 0 && ef > 0 {
+			mag += math.Abs(2.5 * math.Log10(ef/tf))
+			nMag++
+		}
+	}
+	if n == 0 {
+		return "vs truth: no overlapping entries to score"
+	}
+	s := fmt.Sprintf("vs truth: mean position error %.3f px", pos/float64(n))
+	if nMag > 0 {
+		s += fmt.Sprintf(", mean |Δmag| %.3f (%d of %d pairs with measurable flux)",
+			mag/float64(nMag), nMag, n)
+	} else {
+		s += ", |Δmag| unavailable (no pair has both fluxes positive)"
+	}
+	return s
+}
+
+// reapJoiner deterministically reaps the churn-add worker. If the timer is
+// stopped before firing, no child was (or will be) spawned. Otherwise the
+// callback is running or ran — even if it was spawned concurrently with run
+// completion — and will deliver exactly one value, so a blocking receive
+// cannot hang and cannot miss the child the way a select/default drain did.
+func reapJoiner(timer *time.Timer, joiner <-chan *exec.Cmd) {
+	if timer.Stop() {
+		return
+	}
+	if cmd := <-joiner; cmd != nil {
+		cmd.Wait()
 	}
 }
 

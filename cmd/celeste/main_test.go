@@ -1,8 +1,15 @@
 package main
 
 import (
+	"fmt"
+	"math"
+	"os/exec"
 	"strings"
 	"testing"
+	"time"
+
+	"celeste/internal/geom"
+	"celeste/internal/model"
 )
 
 // TestValidateFlags walks the flag-combination matrix: every contradictory
@@ -23,6 +30,9 @@ func TestValidateFlags(t *testing.T) {
 		{"serve with resume", flagConfig{Serve: ":7021", Checkpoint: "run.celk", Resume: true, Procs: 4, Threads: 8}, ""},
 		{"elastic worker", flagConfig{Worker: "host:7021", Elastic: true, Procs: 4, Threads: 8}, ""},
 		{"spawn with churn", flagConfig{Spawn: 4, SpawnSet: true, ChurnKill: 1, ChurnAdd: 1, Procs: 4, Threads: 8}, ""},
+		{"fit with query", flagConfig{Query: ":8080", Procs: 4, Threads: 8}, ""},
+		{"spawn with query", flagConfig{Spawn: 2, SpawnSet: true, Query: ":8080", Procs: 4, Threads: 8}, ""},
+		{"query a catalog file", flagConfig{Query: ":8080", Load: "catalog.jsonl", Procs: 4, Threads: 8}, ""},
 
 		{"spawn zero", flagConfig{Spawn: 0, SpawnSet: true, Procs: 4, Threads: 8}, "-spawn"},
 		{"spawn negative", flagConfig{Spawn: -3, SpawnSet: true, Procs: 4, Threads: 8}, "-spawn"},
@@ -39,6 +49,13 @@ func TestValidateFlags(t *testing.T) {
 		{"churn add without spawn", flagConfig{ChurnAdd: 1, Procs: 4, Threads: 8}, "require -spawn"},
 		{"negative churn", flagConfig{Spawn: 2, SpawnSet: true, ChurnKill: -1, Procs: 4, Threads: 8}, "non-negative"},
 		{"churn kill of sole worker", flagConfig{Spawn: 1, SpawnSet: true, ChurnKill: 1, Procs: 4, Threads: 8}, "at least 2"},
+		{"load without query", flagConfig{Load: "catalog.jsonl", Procs: 4, Threads: 8}, "-load requires -query"},
+		{"load with worker", flagConfig{Query: ":8080", Load: "c.jsonl", Worker: "a:1", Procs: 4, Threads: 8}, "-load"},
+		{"load with serve", flagConfig{Query: ":8080", Load: "c.jsonl", Serve: ":2", Procs: 4, Threads: 8}, "-load"},
+		{"load with spawn", flagConfig{Query: ":8080", Load: "c.jsonl", Spawn: 2, SpawnSet: true, Procs: 4, Threads: 8}, "-load"},
+		{"load with checkpoint", flagConfig{Query: ":8080", Load: "c.jsonl", Checkpoint: "run.celk", Procs: 4, Threads: 8}, "-load"},
+		{"load with resume", flagConfig{Query: ":8080", Load: "c.jsonl", Checkpoint: "run.celk", Resume: true, Procs: 4, Threads: 8}, "-load"},
+		{"query on a worker", flagConfig{Query: ":8080", Worker: "a:1", Procs: 4, Threads: 8}, "-query"},
 	}
 	for _, tc := range cases {
 		err := validateFlags(tc.fc)
@@ -55,5 +72,104 @@ func TestValidateFlags(t *testing.T) {
 		if !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
 		}
+	}
+}
+
+// TestAccuracySummary pins the truth-comparison report's denominators: the
+// |Δmag| mean divides by the pairs that contributed a magnitude (both fluxes
+// positive), not by all position pairs, and an empty catalog reports cleanly
+// instead of printing NaN.
+func TestAccuracySummary(t *testing.T) {
+	const pixScale = 1e-3
+	entry := func(ra float64, flux float64) model.CatalogEntry {
+		var e model.CatalogEntry
+		e.Pos = geom.Pt2{RA: ra, Dec: 0}
+		e.Flux[model.RefBand] = flux
+		return e
+	}
+
+	t.Run("empty catalog has no NaN", func(t *testing.T) {
+		got := accuracySummary([]model.CatalogEntry{entry(0, 1)}, nil, pixScale)
+		if strings.Contains(got, "NaN") {
+			t.Fatalf("summary prints NaN: %q", got)
+		}
+		if !strings.Contains(got, "no overlapping entries") {
+			t.Fatalf("summary %q does not flag the empty overlap", got)
+		}
+	})
+
+	t.Run("mag denominator counts only measurable pairs", func(t *testing.T) {
+		// Two pairs: one with both fluxes positive (|Δmag| = 2.5·log10(2)),
+		// one with a collapsed estimate (flux 0, contributes no magnitude).
+		// Pre-fix the sum was divided by 2, halving the reported error.
+		truth := []model.CatalogEntry{entry(0, 10), entry(1, 10)}
+		catalog := []model.CatalogEntry{entry(0, 20), entry(1, 0)}
+		got := accuracySummary(truth, catalog, pixScale)
+		want := fmt.Sprintf("%.3f", 2.5*math.Log10(2))
+		if !strings.Contains(got, "mean |Δmag| "+want) {
+			t.Errorf("summary %q does not report |Δmag| %s over the 1 measurable pair", got, want)
+		}
+		if !strings.Contains(got, "1 of 2 pairs") {
+			t.Errorf("summary %q does not disclose the pair counts", got)
+		}
+	})
+
+	t.Run("no measurable pair", func(t *testing.T) {
+		got := accuracySummary([]model.CatalogEntry{entry(0, 10)},
+			[]model.CatalogEntry{entry(0, 0)}, pixScale)
+		if strings.Contains(got, "NaN") {
+			t.Fatalf("summary prints NaN: %q", got)
+		}
+		if !strings.Contains(got, "|Δmag| unavailable") {
+			t.Errorf("summary %q does not flag the missing magnitudes", got)
+		}
+	})
+}
+
+// TestReapJoinerRace: the churn-add reaper must not miss a joiner spawned
+// concurrently with run completion. Pre-fix the deferred drain used
+// select/default, so a callback still mid-spawn when the run finished left
+// the child unreaped; the fixed reaper observes the fired timer and blocks
+// for the callback's value.
+func TestReapJoinerRace(t *testing.T) {
+	joiner := make(chan *exec.Cmd, 1)
+	fired := make(chan struct{})
+	timer := time.AfterFunc(time.Millisecond, func() {
+		close(fired)
+		time.Sleep(20 * time.Millisecond) // the spawn is still in progress...
+		joiner <- nil                     // ...and lands after reap began
+	})
+	<-fired
+	done := make(chan struct{})
+	go func() {
+		reapJoiner(timer, joiner)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reapJoiner hung on a fired timer")
+	}
+	select {
+	case <-joiner:
+		t.Fatal("reapJoiner returned without draining the joiner value")
+	default:
+	}
+}
+
+// TestReapJoinerUnfiredTimer: a run that finishes before the churn delay
+// stops the timer and returns immediately — no value will ever arrive.
+func TestReapJoinerUnfiredTimer(t *testing.T) {
+	joiner := make(chan *exec.Cmd, 1)
+	timer := time.AfterFunc(time.Hour, func() { joiner <- nil })
+	done := make(chan struct{})
+	go func() {
+		reapJoiner(timer, joiner)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("reapJoiner blocked on a timer that never fired")
 	}
 }

@@ -1,0 +1,64 @@
+package catserve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// queryCache is one snapshot's bounded cache of serialized query responses.
+// It is read-mostly and lock-free on the hit path (sync.Map), which is what
+// lets the serving layer sustain hundreds of thousands of cached queries per
+// second while inference owns most of the CPU. The cache belongs to exactly
+// one immutable Snapshot, so entries never need invalidation: publishing a
+// new snapshot installs a fresh empty cache, and a query that is still
+// running against the old snapshot keeps hitting the old cache — responses
+// and the cells they were computed from retire together.
+//
+// At capacity, new responses are served uncached instead of evicted: a
+// snapshot lives for one update interval, far too short for an eviction
+// policy to repay the locking it would put on the hit path.
+type queryCache struct {
+	cap int64
+	n   atomic.Int64
+	m   sync.Map // request target (path?query) -> serialized response []byte
+}
+
+// newQueryCache returns a cache bounded to cap entries, or nil (all methods
+// nil-safe, nothing cached) when cap is negative.
+func newQueryCache(cap int) *queryCache {
+	if cap < 0 {
+		return nil
+	}
+	return &queryCache{cap: int64(cap)}
+}
+
+// get returns the cached response for key. The returned bytes are shared:
+// callers must treat them as immutable.
+func (c *queryCache) get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	v, ok := c.m.Load(key)
+	if !ok {
+		return nil, false
+	}
+	return v.([]byte), true
+}
+
+// put stores a response while the cache has room; at capacity it is a no-op.
+func (c *queryCache) put(key string, resp []byte) {
+	if c == nil || c.n.Load() >= c.cap {
+		return
+	}
+	if _, loaded := c.m.LoadOrStore(key, resp); !loaded {
+		c.n.Add(1)
+	}
+}
+
+// len returns the number of cached responses.
+func (c *queryCache) len() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.n.Load())
+}

@@ -1,0 +1,272 @@
+package catserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync/atomic"
+
+	"celeste/internal/geom"
+	"celeste/internal/model"
+)
+
+// Server answers catalog queries over HTTP (std net/http) against a Store's
+// current snapshot:
+//
+//	GET /cone?ra=R&dec=D&r=RAD[&limit=N]              sources within RAD degrees
+//	GET /box?ramin=&decmin=&ramax=&decmax=[&limit=N]  sources in a half-open sky box
+//	GET /brightest?n=N[&band=B]                       N brightest sources in band B
+//	GET /stats                                        snapshot version, counts, cache stats
+//
+// Responses are JSON: {"version":V,"count":C,"entries":[...]} with each
+// entry serialized exactly as imageio.WriteCatalog writes catalog lines, so
+// a served entry is byte-comparable with the run's output file. Every query
+// names the snapshot version it answered from; two queries returning the
+// same version saw the same immutable catalog state.
+//
+// The cache key is the verbatim request target (path plus raw query), looked
+// up before any parsing: a repeated query against an unchanged snapshot costs
+// one lock-free map read and returns the previously serialized bytes. Query
+// is the transport-free entry point the load harness and benchmarks drive —
+// the HTTP handler is a thin wrapper over it.
+type Server struct {
+	store *Store
+
+	hits, misses atomic.Int64
+}
+
+// NewServer returns a query server over the store.
+func NewServer(st *Store) *Server { return &Server{store: st} }
+
+// queryResponse is the envelope of every entry-returning endpoint.
+type queryResponse struct {
+	Version uint64               `json:"version"`
+	Count   int                  `json:"count"`
+	Entries []model.CatalogEntry `json:"entries"`
+}
+
+// statsResponse describes the current snapshot and the server's cache
+// traffic. It is never cached: hit counts move under the reader.
+type statsResponse struct {
+	Version         uint64   `json:"version"`
+	Count           int      `json:"count"`
+	Bounds          geom.Box `json:"bounds"`
+	CachedResponses int      `json:"cached_responses"`
+	CacheHits       int64    `json:"cache_hits"`
+	CacheMisses     int64    `json:"cache_misses"`
+}
+
+// CacheStats returns the cumulative cache hit and miss counts across all
+// snapshots served.
+func (s *Server) CacheStats() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+// Handler returns the HTTP face of the server.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			writeJSONError(w, http.StatusMethodNotAllowed, "only GET is supported")
+			return
+		}
+		target := r.URL.Path
+		if r.URL.RawQuery != "" {
+			target += "?" + r.URL.RawQuery
+		}
+		body, status := s.Query(target)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(body)
+	})
+}
+
+// Query executes one request target ("/cone?ra=0.1&dec=0.2&r=0.05") against
+// the store's current snapshot and returns the serialized JSON response with
+// its HTTP status. The snapshot's cache is consulted under the verbatim
+// target before anything is parsed, so the repeated-query path does no
+// parsing, no tree walk, and no serialization. Only successful responses are
+// cached. The returned bytes are shared with the cache and must be treated
+// as immutable.
+func (s *Server) Query(target string) ([]byte, int) {
+	snap := s.store.Snapshot()
+	if body, ok := snap.cache.get(target); ok {
+		s.hits.Add(1)
+		return body, http.StatusOK
+	}
+
+	path, rawQuery, _ := cutQuery(target)
+	if path == "/stats" {
+		return s.statsBody(snap), http.StatusOK
+	}
+	q, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return errorBody("unparseable query: " + err.Error()), http.StatusBadRequest
+	}
+
+	var entries []model.CatalogEntry
+	switch path {
+	case "/cone":
+		center, radius, limit, err := coneParams(q)
+		if err != nil {
+			return errorBody(err.Error()), http.StatusBadRequest
+		}
+		entries = truncate(snap.Cone(center, radius), limit)
+	case "/box":
+		box, limit, err := boxParams(q)
+		if err != nil {
+			return errorBody(err.Error()), http.StatusBadRequest
+		}
+		entries = truncate(snap.Box(box), limit)
+	case "/brightest":
+		n, band, err := brightestParams(q)
+		if err != nil {
+			return errorBody(err.Error()), http.StatusBadRequest
+		}
+		entries = snap.BrightestN(n, band)
+	default:
+		return errorBody("unknown endpoint " + path + " (have /cone, /box, /brightest, /stats)"),
+			http.StatusNotFound
+	}
+	s.misses.Add(1)
+
+	if entries == nil {
+		entries = []model.CatalogEntry{}
+	}
+	body, err := json.Marshal(&queryResponse{
+		Version: snap.Version(),
+		Count:   len(entries),
+		Entries: entries,
+	})
+	if err != nil {
+		// Unreachable: the response is plain structs of floats and ints.
+		return errorBody("encoding response: " + err.Error()), http.StatusInternalServerError
+	}
+	snap.cache.put(target, body)
+	return body, http.StatusOK
+}
+
+// statsBody builds the (uncached) /stats response.
+func (s *Server) statsBody(snap *Snapshot) []byte {
+	body, _ := json.Marshal(&statsResponse{
+		Version:         snap.Version(),
+		Count:           snap.Count(),
+		Bounds:          s.store.Bounds(),
+		CachedResponses: snap.cache.len(),
+		CacheHits:       s.hits.Load(),
+		CacheMisses:     s.misses.Load(),
+	})
+	return body
+}
+
+// cutQuery splits a request target at the first '?'.
+func cutQuery(target string) (path, rawQuery string, found bool) {
+	for i := 0; i < len(target); i++ {
+		if target[i] == '?' {
+			return target[:i], target[i+1:], true
+		}
+	}
+	return target, "", false
+}
+
+func errorBody(msg string) []byte {
+	body, _ := json.Marshal(map[string]string{"error": msg})
+	return body
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(errorBody(msg))
+}
+
+// finiteParam parses a required finite float parameter.
+func finiteParam(q url.Values, name string) (float64, error) {
+	raw := q.Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing required parameter %q", name)
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %v", name, err)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("parameter %q must be finite, got %q", name, raw)
+	}
+	return v, nil
+}
+
+// limitParam parses the optional limit parameter (0 = unlimited).
+func limitParam(q url.Values) (int, error) {
+	raw := q.Get("limit")
+	if raw == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(raw)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("parameter \"limit\" must be a non-negative integer, got %q", raw)
+	}
+	return n, nil
+}
+
+func coneParams(q url.Values) (center geom.Pt2, radius float64, limit int, err error) {
+	if center.RA, err = finiteParam(q, "ra"); err != nil {
+		return
+	}
+	if center.Dec, err = finiteParam(q, "dec"); err != nil {
+		return
+	}
+	if radius, err = finiteParam(q, "r"); err != nil {
+		return
+	}
+	if radius < 0 {
+		err = fmt.Errorf("parameter \"r\" must be non-negative, got %g", radius)
+		return
+	}
+	limit, err = limitParam(q)
+	return
+}
+
+func boxParams(q url.Values) (box geom.Box, limit int, err error) {
+	if box.MinRA, err = finiteParam(q, "ramin"); err != nil {
+		return
+	}
+	if box.MinDec, err = finiteParam(q, "decmin"); err != nil {
+		return
+	}
+	if box.MaxRA, err = finiteParam(q, "ramax"); err != nil {
+		return
+	}
+	if box.MaxDec, err = finiteParam(q, "decmax"); err != nil {
+		return
+	}
+	limit, err = limitParam(q)
+	return
+}
+
+func brightestParams(q url.Values) (n, band int, err error) {
+	raw := q.Get("n")
+	if raw == "" {
+		return 0, 0, fmt.Errorf("missing required parameter %q", "n")
+	}
+	if n, err = strconv.Atoi(raw); err != nil || n <= 0 {
+		return 0, 0, fmt.Errorf("parameter \"n\" must be a positive integer, got %q", raw)
+	}
+	band = model.RefBand
+	if raw := q.Get("band"); raw != "" {
+		if band, err = strconv.Atoi(raw); err != nil || band < 0 || band >= model.NumBands {
+			return 0, 0, fmt.Errorf("parameter \"band\" must be an integer in [0,%d), got %q",
+				model.NumBands, raw)
+		}
+	}
+	return n, band, nil
+}
+
+func truncate(entries []model.CatalogEntry, limit int) []model.CatalogEntry {
+	if limit > 0 && len(entries) > limit {
+		return entries[:limit]
+	}
+	return entries
+}

@@ -1,0 +1,245 @@
+package catserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"celeste/internal/geom"
+	"celeste/internal/model"
+)
+
+func testServer(t *testing.T, n int, opts Options) (*Server, []model.CatalogEntry) {
+	t.Helper()
+	entries := mkEntries(n, 42)
+	return NewServer(unitStore(entries, opts)), entries
+}
+
+func getJSON(t *testing.T, h http.Handler, target string, wantStatus int, into any) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, target, nil))
+	if rec.Code != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d (body %s)", target, rec.Code, wantStatus, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET %s: content-type %q", target, ct)
+	}
+	if into != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), into); err != nil {
+			t.Fatalf("GET %s: bad JSON %q: %v", target, rec.Body.String(), err)
+		}
+	}
+}
+
+func TestHTTPConeMatchesSnapshot(t *testing.T) {
+	srv, _ := testServer(t, 300, Options{})
+	h := srv.Handler()
+	c := geom.Pt2{RA: 0.4, Dec: 0.6}
+	want := srv.store.Snapshot().Cone(c, 0.2)
+
+	var resp queryResponse
+	getJSON(t, h, fmt.Sprintf("/cone?ra=%g&dec=%g&r=%g", c.RA, c.Dec, 0.2), http.StatusOK, &resp)
+	if resp.Version != 1 || resp.Count != len(want) || len(resp.Entries) != len(want) {
+		t.Fatalf("cone response version=%d count=%d len=%d, want version=1 count=%d",
+			resp.Version, resp.Count, len(resp.Entries), len(want))
+	}
+	for i := range want {
+		if resp.Entries[i].ID != want[i].ID || resp.Entries[i].Flux != want[i].Flux {
+			t.Fatalf("cone entry %d mismatch: got %+v want %+v", i, resp.Entries[i], want[i])
+		}
+	}
+
+	// limit truncates, preserving prefix order.
+	var lim queryResponse
+	getJSON(t, h, fmt.Sprintf("/cone?ra=%g&dec=%g&r=%g&limit=3", c.RA, c.Dec, 0.2), http.StatusOK, &lim)
+	if lim.Count != 3 || lim.Entries[0].ID != want[0].ID {
+		t.Fatalf("limited cone: count=%d first=%d, want 3/%d", lim.Count, lim.Entries[0].ID, want[0].ID)
+	}
+}
+
+func TestHTTPBoxAndBrightest(t *testing.T) {
+	srv, _ := testServer(t, 300, Options{})
+	h := srv.Handler()
+
+	b := geom.NewBox(0.1, 0.1, 0.6, 0.9)
+	want := srv.store.Snapshot().Box(b)
+	var resp queryResponse
+	getJSON(t, h, "/box?ramin=0.1&decmin=0.1&ramax=0.6&decmax=0.9", http.StatusOK, &resp)
+	if resp.Count != len(want) {
+		t.Fatalf("box count=%d want %d", resp.Count, len(want))
+	}
+
+	wantTop := srv.store.Snapshot().BrightestN(5, 3)
+	var top queryResponse
+	getJSON(t, h, "/brightest?n=5&band=3", http.StatusOK, &top)
+	if top.Count != 5 {
+		t.Fatalf("brightest count=%d", top.Count)
+	}
+	for i := range wantTop {
+		if top.Entries[i].ID != wantTop[i].ID {
+			t.Fatalf("brightest rank %d: got %d want %d", i, top.Entries[i].ID, wantTop[i].ID)
+		}
+	}
+
+	// band defaults to the reference band.
+	wantRef := srv.store.Snapshot().BrightestN(2, model.RefBand)
+	var ref queryResponse
+	getJSON(t, h, "/brightest?n=2", http.StatusOK, &ref)
+	if ref.Entries[0].ID != wantRef[0].ID {
+		t.Fatalf("default band: got %d want %d", ref.Entries[0].ID, wantRef[0].ID)
+	}
+}
+
+func TestHTTPEmptyResultIsArray(t *testing.T) {
+	srv, _ := testServer(t, 50, Options{})
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/cone?ra=50&dec=50&r=0.001", nil))
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if string(raw["entries"]) != "[]" {
+		t.Fatalf("empty result entries = %s, want []", raw["entries"])
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := testServer(t, 50, Options{})
+	h := srv.Handler()
+	cases := []struct {
+		target string
+		status int
+	}{
+		{"/cone?ra=0.5&dec=0.5", http.StatusBadRequest},             // missing r
+		{"/cone?ra=0.5&dec=0.5&r=-1", http.StatusBadRequest},        // negative radius
+		{"/cone?ra=NaN&dec=0.5&r=0.1", http.StatusBadRequest},       // non-finite
+		{"/cone?ra=+Inf&dec=0.5&r=0.1", http.StatusBadRequest},      // non-finite
+		{"/cone?ra=x&dec=0.5&r=0.1", http.StatusBadRequest},         // unparseable float
+		{"/cone?ra=0.5&dec=0.5&r=0.1&limit=-2", http.StatusBadRequest},
+		{"/cone?ra=0.5&dec=0.5&r=0.1&limit=x", http.StatusBadRequest},
+		{"/box?ramin=0&decmin=0&ramax=1", http.StatusBadRequest},    // missing decmax
+		{"/box?ramin=0&decmin=o&ramax=1&decmax=1", http.StatusBadRequest},
+		{"/brightest", http.StatusBadRequest},                       // missing n
+		{"/brightest?n=0", http.StatusBadRequest},                   // non-positive n
+		{"/brightest?n=-3", http.StatusBadRequest},
+		{"/brightest?n=2&band=9", http.StatusBadRequest},            // band out of range
+		{"/brightest?n=2&band=-1", http.StatusBadRequest},
+		{"/brightest?n=2&band=x", http.StatusBadRequest},
+		{"/cone?ra=%zz", http.StatusBadRequest},                     // unparseable query string
+		{"/nope", http.StatusNotFound},
+		{"/", http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		var e map[string]string
+		getJSON(t, h, tc.target, tc.status, &e)
+		if e["error"] == "" {
+			t.Fatalf("GET %s: no error message in body", tc.target)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/cone?ra=0&dec=0&r=1", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status %d, want 405", rec.Code)
+	}
+}
+
+func TestQueryCacheHitsAndSnapshotRollover(t *testing.T) {
+	srv, entries := testServer(t, 200, Options{})
+	target := "/cone?ra=0.5&dec=0.5&r=0.3"
+
+	b1, st := srv.Query(target)
+	if st != http.StatusOK {
+		t.Fatalf("first query status %d", st)
+	}
+	b2, _ := srv.Query(target)
+	if &b1[0] != &b2[0] {
+		t.Fatalf("second query did not return the cached bytes")
+	}
+	if hits, misses := srv.CacheStats(); hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// Publishing a new snapshot installs a fresh cache: the same target is
+	// recomputed against the new version.
+	e := entries[0]
+	e.Flux[model.RefBand] = 7e7
+	srv.store.Apply([]int{0}, []model.CatalogEntry{e})
+	b3, _ := srv.Query(target)
+	var resp queryResponse
+	if err := json.Unmarshal(b3, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Version != 2 {
+		t.Fatalf("post-Apply query served version %d, want 2", resp.Version)
+	}
+	if hits, misses := srv.CacheStats(); hits != 1 || misses != 2 {
+		t.Fatalf("after rollover hits=%d misses=%d, want 1/2", hits, misses)
+	}
+
+	// Error responses are never cached.
+	srv.Query("/cone?ra=bad")
+	srv.Query("/cone?ra=bad")
+	if hits, _ := srv.CacheStats(); hits != 1 {
+		t.Fatalf("error response was served from cache (hits=%d)", hits)
+	}
+}
+
+func TestCacheCapAndDisable(t *testing.T) {
+	srv, _ := testServer(t, 100, Options{CacheCap: 2})
+	targets := []string{
+		"/cone?ra=0.1&dec=0.1&r=0.2",
+		"/cone?ra=0.2&dec=0.2&r=0.2",
+		"/cone?ra=0.3&dec=0.3&r=0.2",
+	}
+	for _, tg := range targets {
+		srv.Query(tg)
+	}
+	var st statsResponse
+	getJSON(t, srv.Handler(), "/stats", http.StatusOK, &st)
+	if st.CachedResponses != 2 {
+		t.Fatalf("cached_responses = %d, want cap 2", st.CachedResponses)
+	}
+	// The overflow target stays uncached: querying it again is a miss.
+	_, missesBefore := srv.CacheStats()
+	srv.Query(targets[2])
+	if _, misses := srv.CacheStats(); misses != missesBefore+1 {
+		t.Fatalf("overflow target unexpectedly cached")
+	}
+
+	off, _ := testServer(t, 100, Options{CacheCap: -1})
+	off.Query(targets[0])
+	off.Query(targets[0])
+	if hits, misses := off.CacheStats(); hits != 0 || misses != 2 {
+		t.Fatalf("disabled cache: hits=%d misses=%d, want 0/2", hits, misses)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv, entries := testServer(t, 150, Options{})
+	h := srv.Handler()
+	srv.Query("/cone?ra=0.5&dec=0.5&r=0.1")
+	srv.Query("/cone?ra=0.5&dec=0.5&r=0.1")
+
+	var st statsResponse
+	getJSON(t, h, "/stats", http.StatusOK, &st)
+	if st.Version != 1 || st.Count != len(entries) {
+		t.Fatalf("stats version=%d count=%d", st.Version, st.Count)
+	}
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.CachedResponses != 1 {
+		t.Fatalf("stats cache counters: %+v", st)
+	}
+	if st.Bounds != srv.store.Bounds() {
+		t.Fatalf("stats bounds %+v != store bounds %+v", st.Bounds, srv.store.Bounds())
+	}
+
+	// /stats itself is never cached — counters must stay live.
+	var again statsResponse
+	getJSON(t, h, "/stats", http.StatusOK, &again)
+	if hits, _ := srv.CacheStats(); hits != 1 {
+		t.Fatalf("stats response was cached (hits=%d)", hits)
+	}
+}

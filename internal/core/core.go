@@ -403,6 +403,26 @@ type RunOptions struct {
 	// must match this run's inputs; Threads and Processes may differ.
 	Resume *Checkpoint
 
+	// OnCatalog streams incremental posterior summaries to a catalog
+	// consumer (the catserve index): after every CatalogEvery task commits,
+	// the hook receives the global source indices refreshed by those tasks
+	// and their freshly summarized catalog entries — the same math that
+	// builds the final output catalog, applied to the live parameter array.
+	// When the run completes, the hook fires one final time with every
+	// source and the exact entries of RunResult.Catalog, so a consumer's
+	// last state is byte-identical to the written catalog even on resumed
+	// runs where already-done tasks never re-commit.
+	//
+	// Like OnCheckpoint, the periodic invocations run under the run's
+	// commit lock and are strictly serialized in commit order. The hook
+	// must not call back into the run.
+	OnCatalog func(idx []int, entries []model.CatalogEntry)
+
+	// CatalogEvery sets how many task commits are batched per OnCatalog
+	// flush. 0 inherits CheckpointEvery; if that is also 0, every commit
+	// flushes.
+	CatalogEvery int
+
 	// Faults injects rank kills and stalls into the goroutine runtime.
 	Faults *dtree.FaultPlan
 
@@ -448,6 +468,16 @@ type runState struct {
 
 	every int
 	hook  func(*Checkpoint) error
+
+	// Catalog streaming (OnCatalog): the run's tasks and input catalog, the
+	// sources refreshed by commits since the last flush, and the batching
+	// interval. All owned by the commit lock.
+	tasks      []partition.Task
+	catalog    []model.CatalogEntry
+	pendingSrc []int
+	sinceCat   int
+	catEvery   int
+	catHook    func(idx []int, entries []model.CatalogEntry)
 
 	// Fault bookkeeping: a killed rank stays dead for the rest of the run
 	// (the node is gone), and kill/delay triggers count completed tasks
@@ -509,6 +539,13 @@ func (st *runState) commit(gi int, s Stats) {
 	st.stats.NewtonIters += s.NewtonIters
 	st.stats.Visits += s.Visits
 	st.tasksProcessed++
+	if st.catHook != nil {
+		st.pendingSrc = append(st.pendingSrc, st.tasks[gi].Sources...)
+		st.sinceCat++
+		if st.sinceCat >= st.catEvery {
+			st.flushCatalogLocked()
+		}
+	}
 	var hookErr error
 	if st.every > 0 && st.hook != nil {
 		st.sinceCk++
@@ -523,6 +560,38 @@ func (st *runState) commit(gi int, s Stats) {
 	if hookErr != nil {
 		st.aborted.Store(true)
 	}
+}
+
+// flushCatalogLocked summarizes every source touched since the last flush
+// from the live array and hands the batch to the OnCatalog hook. Runs under
+// st.mu; the per-shard locks in pgas make each Get atomic, and task purity
+// makes any value read here one that the owning task will commit.
+func (st *runState) flushCatalogLocked() {
+	st.sinceCat = 0
+	if len(st.pendingSrc) == 0 {
+		return
+	}
+	// A source can pend twice when a flush spans the stage boundary; the
+	// duplicate would read the same bytes, so keep the first.
+	idx := st.pendingSrc[:0]
+	seen := make(map[int]bool, len(st.pendingSrc))
+	for _, i := range st.pendingSrc {
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	ents := make([]model.CatalogEntry, len(idx))
+	buf := make([]float64, model.ParamDim)
+	for k, i := range idx {
+		st.cur.Get(0, i, buf)
+		var p model.Params
+		copy(p[:], buf)
+		c := p.Constrained()
+		ents[k] = model.Summarize(st.catalog[i].ID, &c)
+	}
+	st.catHook(append([]int(nil), idx...), ents)
+	st.pendingSrc = st.pendingSrc[:0]
 }
 
 // Run executes the full three-level optimization over a survey: tasks from
@@ -565,6 +634,18 @@ func RunWithOptions(sv *survey.Survey, catalog []model.CatalogEntry, tasks []par
 		hook:        opts.OnCheckpoint,
 		deadRank:    make([]bool, cfg.Processes),
 		completedBy: make([]int, cfg.Processes),
+	}
+	if opts.OnCatalog != nil {
+		st.catHook = opts.OnCatalog
+		st.tasks = tasks
+		st.catalog = catalog
+		st.catEvery = opts.CatalogEvery
+		if st.catEvery <= 0 {
+			st.catEvery = opts.CheckpointEvery
+		}
+		if st.catEvery <= 0 {
+			st.catEvery = 1
+		}
 	}
 	// The run hash walks every survey pixel; only pay for it when a
 	// checkpoint could be written or consumed, or when the TCP handshake
@@ -641,6 +722,21 @@ func RunWithOptions(sv *survey.Survey, catalog []model.CatalogEntry, tasks []par
 		copy(p[:], buf)
 		c := p.Constrained()
 		res.Catalog[i] = model.Summarize(catalog[i].ID, &c)
+	}
+	if st.catHook != nil {
+		// Final flush: every source, with the exact entries of the output
+		// catalog. This covers sources whose tasks never committed in this
+		// incarnation (done before a resume) and supersedes any pending
+		// partial batch, so a catalog consumer ends byte-identical to the
+		// written catalog file.
+		idx := make([]int, len(catalog))
+		for i := range idx {
+			idx[i] = i
+		}
+		st.mu.Lock()
+		st.pendingSrc = st.pendingSrc[:0]
+		st.catHook(idx, append([]model.CatalogEntry(nil), res.Catalog...))
+		st.mu.Unlock()
 	}
 	return res, nil
 }

@@ -159,3 +159,101 @@ func TestEmptyRegionNoop(t *testing.T) {
 		t.Errorf("fits = %d for empty region", st.Fits)
 	}
 }
+
+// TestOnCatalogStreaming checks the incremental catalog hook: batched
+// flushes in commit order, full source coverage, and a final flush whose
+// entries are exactly the run's output catalog.
+func TestOnCatalogStreaming(t *testing.T) {
+	sv := smallSurvey(17)
+	if len(sv.Truth) < 3 {
+		t.Skip("too few sources drawn")
+	}
+	noisy := sv.NoisyCatalog(3)
+	tasks := partition.GenerateTwoStage(noisy, sv.Config.Region, partition.Options{TargetWork: 1e6})
+	cfg := Config{Threads: 2, Rounds: 1, Processes: 2, Fit: vi.Options{MaxIter: 8, GradTol: 1e-3}}
+
+	type flush struct {
+		idx  []int
+		ents []model.CatalogEntry
+	}
+	var flushes []flush
+	res, err := RunWithOptions(sv, noisy, tasks, cfg, RunOptions{
+		CatalogEvery: 1,
+		OnCatalog: func(idx []int, ents []model.CatalogEntry) {
+			if len(idx) != len(ents) {
+				t.Errorf("flush with %d indices but %d entries", len(idx), len(ents))
+			}
+			flushes = append(flushes, flush{idx, ents})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// CatalogEvery=1: one flush per committed task plus the final full flush.
+	if want := len(tasks) + 1; len(flushes) != want {
+		t.Fatalf("got %d flushes, want %d (one per task + final)", len(flushes), want)
+	}
+	covered := make(map[int]bool)
+	for _, f := range flushes[:len(flushes)-1] {
+		for k, i := range f.idx {
+			covered[i] = true
+			if f.ents[k].ID != noisy[i].ID {
+				t.Fatalf("flush entry for source %d carries ID %d, want %d", i, f.ents[k].ID, noisy[i].ID)
+			}
+		}
+	}
+	// Every source some task optimizes must have streamed; sources outside
+	// every task (e.g. jittered out of the partitioned region) only appear
+	// in the final flush.
+	for _, task := range tasks {
+		for _, s := range task.Sources {
+			if !covered[s] {
+				t.Errorf("task-covered source %d never streamed before the final flush", s)
+			}
+		}
+	}
+
+	final := flushes[len(flushes)-1]
+	if len(final.idx) != len(noisy) {
+		t.Fatalf("final flush has %d sources, want %d", len(final.idx), len(noisy))
+	}
+	for k, i := range final.idx {
+		if i != k {
+			t.Fatalf("final flush index %d at position %d", i, k)
+		}
+		if final.ents[k] != res.Catalog[k] {
+			t.Fatalf("final flush entry %d differs from output catalog:\nhook: %+v\nrun:  %+v",
+				k, final.ents[k], res.Catalog[k])
+		}
+	}
+}
+
+// TestOnCatalogBatching checks that CatalogEvery batches commits: with an
+// interval larger than the task count, only the final full flush fires.
+func TestOnCatalogBatching(t *testing.T) {
+	sv := smallSurvey(19)
+	if len(sv.Truth) < 3 {
+		t.Skip("too few sources drawn")
+	}
+	noisy := sv.NoisyCatalog(5)
+	tasks := partition.GenerateTwoStage(noisy, sv.Config.Region, partition.Options{TargetWork: 1e6})
+	cfg := Config{Threads: 2, Rounds: 1, Processes: 2, Fit: vi.Options{MaxIter: 8, GradTol: 1e-3}}
+
+	calls := 0
+	_, err := RunWithOptions(sv, noisy, tasks, cfg, RunOptions{
+		CatalogEvery: len(tasks) + 100,
+		OnCatalog: func(idx []int, ents []model.CatalogEntry) {
+			calls++
+			if len(idx) != len(noisy) {
+				t.Errorf("unexpected partial flush of %d sources", len(idx))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("got %d flushes, want only the final one", calls)
+	}
+}

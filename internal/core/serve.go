@@ -321,34 +321,47 @@ func (b *serveBackend) retire(rank int, graceful bool) {
 // under st.mu, since checkpoint capture reads the arrays there. A terminal
 // run (completed, aborted, or stranded) refuses the join so late dials get a
 // clean error instead of a hang.
+//
+// Admission is all-or-nothing: every repartition runs into temporaries
+// first, and any error refuses the join with the run state untouched — a
+// rank admitted without a shard view in the live and frozen arrays would
+// serve wrong answers to every Get it proxies.
 func (b *serveBackend) Join() (int, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.st.aborted.Load() || b.totalLeft == 0 || b.s >= len(b.stages) || b.stranded != nil {
 		return 0, false
 	}
+	newProcs := b.procs + 1
+	st := b.st
+	st.mu.Lock()
+	cur, err := st.cur.RepartitionRanks(newProcs)
+	if err != nil {
+		st.mu.Unlock()
+		return 0, false
+	}
+	prev, err := st.prev.RepartitionRanks(newProcs)
+	if err != nil {
+		st.mu.Unlock()
+		return 0, false
+	}
+	snap, err := st.prevSnap.Repartition(newProcs)
+	if err != nil {
+		st.mu.Unlock()
+		return 0, false
+	}
+	st.cur, st.prev, st.prevSnap = cur, prev, snap
+	// cur was replaced: its shard versions restarted, so the delta
+	// baseline is invalid.
+	st.lastCurSnap = nil
+	st.deadRank = append(st.deadRank, false)
+	st.completedBy = append(st.completedBy, 0)
+	st.mu.Unlock()
 	rank := b.procs
-	b.procs++
+	b.procs = newProcs
 	if b.sched != nil {
 		b.sched.Join()
 	}
-	st := b.st
-	st.mu.Lock()
-	st.deadRank = append(st.deadRank, false)
-	st.completedBy = append(st.completedBy, 0)
-	if cur, err := st.cur.RepartitionRanks(b.procs); err == nil {
-		st.cur = cur
-		// cur was replaced: its shard versions restarted, so the delta
-		// baseline is invalid.
-		st.lastCurSnap = nil
-	}
-	if prev, err := st.prev.RepartitionRanks(b.procs); err == nil {
-		st.prev = prev
-	}
-	if snap, err := st.prevSnap.Repartition(b.procs); err == nil {
-		st.prevSnap = snap
-	}
-	st.mu.Unlock()
 	return rank, true
 }
 

@@ -237,7 +237,14 @@ func (s *coordinator) handle(c net.Conn) {
 		}
 		return
 	}
-	var rank int
+	// An elastic joiner is admitted only after its Ready/hash check passes:
+	// Backend.Join permanently grows the rank space and repartitions both
+	// PGAS arrays, so minting the rank first would let a flapping mismatched
+	// worker grow the run without bound — and double-count each attempt as
+	// both a joined and a failed rank. Until Join succeeds, a joiner holds no
+	// rank and a refused handshake leaves the run untouched.
+	rank := -1
+	elastic := false
 	switch m.Type {
 	case MsgHello:
 		rank = s.assignRank()
@@ -247,34 +254,52 @@ func (s *coordinator) handle(c net.Conn) {
 		}
 	case MsgJoin:
 		// Elastic admission bypasses the static complement and the connect
-		// grace seal: the backend mints a fresh rank and the joiner acquires
-		// work by stealing. The rest of the handshake is identical.
+		// grace seal: after the handshake verifies, the backend mints a fresh
+		// rank and the joiner acquires work by stealing. The Welcome carries a
+		// provisional rank of 0 — the worker side never uses the rank on the
+		// wire (the coordinator tracks it per connection), so the real rank
+		// need not exist yet.
+		elastic = true
+	default:
+		sendError(fw, "net: expected Hello or Join to open the handshake")
+		return
+	}
+	// fail retires the rank, if one was ever assigned. A refused or failed
+	// joiner never held a rank, so there is nothing to fail — and nothing to
+	// count in the run's joined/failed accounting.
+	fail := func() {
+		if !elastic {
+			s.b.Fail(rank)
+		}
+	}
+	cfg := s.cfg
+	wireRank := uint32(0)
+	if !elastic {
+		wireRank = uint32(rank)
+	}
+	if err := fw.send(&Message{Type: MsgWelcome, Rank: wireRank, Welcome: &cfg}); err != nil {
+		fail()
+		return
+	}
+	c.SetDeadline(time.Now().Add(s.opts.ConnectGrace))
+	m, err = ReadMessage(c)
+	if err != nil || m.Type != MsgReady {
+		fail()
+		return
+	}
+	if m.Hash != s.cfg.RunHash {
+		sendError(fw, fmt.Sprintf("net: run hash mismatch: worker computed %016x, run is %016x",
+			m.Hash, s.cfg.RunHash))
+		fail()
+		return
+	}
+	if elastic {
 		r, ok := s.b.Join()
 		if !ok {
 			sendError(fw, "net: join refused (run is terminal)")
 			return
 		}
 		rank = r
-	default:
-		sendError(fw, "net: expected Hello or Join to open the handshake")
-		return
-	}
-	cfg := s.cfg
-	if err := fw.send(&Message{Type: MsgWelcome, Rank: uint32(rank), Welcome: &cfg}); err != nil {
-		s.b.Fail(rank)
-		return
-	}
-	c.SetDeadline(time.Now().Add(s.opts.ConnectGrace))
-	m, err = ReadMessage(c)
-	if err != nil || m.Type != MsgReady {
-		s.b.Fail(rank)
-		return
-	}
-	if m.Hash != s.cfg.RunHash {
-		sendError(fw, fmt.Sprintf("net: run hash mismatch: worker computed %016x, run is %016x",
-			m.Hash, s.cfg.RunHash))
-		s.b.Fail(rank)
-		return
 	}
 
 	if err := s.serveRank(c, fw, rank); err != nil {

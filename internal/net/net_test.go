@@ -595,8 +595,8 @@ func TestElasticJoinAdmittedAfterGrace(t *testing.T) {
 		t.Fatalf("elastic join refused: %v", err)
 	}
 	defer cl.Close()
-	if cl.Rank() != 2 {
-		t.Fatalf("joiner got rank %d, want 2 (past the static complement)", cl.Rank())
+	if cl.Rank() != -1 {
+		t.Fatalf("joiner reports rank %d, want -1 (the real rank is minted server-side after the hash handshake)", cl.Rank())
 	}
 	if err := cl.Ready(b.cfg.RunHash, 20*time.Millisecond); err != nil {
 		t.Fatal(err)
@@ -618,8 +618,90 @@ func TestElasticJoinAdmittedAfterGrace(t *testing.T) {
 	if len(b.committed) != 6 {
 		t.Fatalf("%d tasks committed, want 6", len(b.committed))
 	}
+	if b.joined != 1 {
+		t.Errorf("backend admitted %d elastic ranks, want 1", b.joined)
+	}
 	if b.failed[2] || b.left[2] {
 		t.Error("joiner's clean completion was recorded as failed/left")
+	}
+}
+
+// TestJoinRefusedOnHashMismatch: an elastic joiner whose Ready hash fails
+// verification must leave the run untouched. Pre-fix, the coordinator called
+// Backend.Join before reading Ready, so every flapping mismatched joiner
+// permanently grew the rank space (and repartitioned both PGAS arrays), and
+// was then also counted as a failed rank — double-counted in the run's
+// joined/failed accounting.
+func TestJoinRefusedOnHashMismatch(t *testing.T) {
+	b := newFakeBackend(1, 3, 2)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 2 * time.Second})
+
+	// A flapping joiner: three attempts, each with a mismatched hash.
+	for i := 0; i < 3; i++ {
+		cl, err := Dial(addr, DialOptions{Timeout: time.Second, Poll: time.Millisecond, Elastic: true})
+		if err != nil {
+			t.Fatalf("dial %d: %v", i, err)
+		}
+		if err := cl.Ready(b.cfg.RunHash+1, 0); err != nil {
+			t.Fatalf("ready %d: %v", i, err)
+		}
+		if _, _, err := cl.NextTask(); err == nil {
+			t.Fatal("mismatched joiner was served a task")
+		}
+		cl.Close()
+	}
+	b.mu.Lock()
+	if b.joined != 0 {
+		t.Errorf("%d refused joiners were admitted (Backend.Join ran before the hash verified)", b.joined)
+	}
+	if len(b.failed) != 0 {
+		t.Errorf("refused joiners were counted as failed ranks: %v", b.failed)
+	}
+	b.mu.Unlock()
+
+	// A static worker with the right hash still completes the run.
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLeaveStopsHeartbeat: a graceful Leave must stop the heartbeat before
+// the coordinator retires the rank and closes the connection — pre-fix the
+// heartbeat kept ticking into the closed socket and recorded a spurious
+// HeartbeatErr, which a supervisor reads as a heartbeat death rather than a
+// clean departure.
+func TestLeaveStopsHeartbeat(t *testing.T) {
+	b := newFakeBackend(2, 3, 4)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 2 * time.Second})
+	cl, err := Dial(addr, DialOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const hbEvery = 5 * time.Millisecond
+	if err := cl.Ready(b.cfg.RunHash, hbEvery); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := cl.NextTask(); err != nil || !ok {
+		t.Fatalf("task pull: ok=%v err=%v", ok, err)
+	}
+	if err := cl.Leave(); err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	// Give a leaked heartbeat ample ticks to hit the retired connection.
+	time.Sleep(20 * hbEvery)
+	if err := cl.HeartbeatErr(); err != nil {
+		t.Errorf("graceful leave recorded a heartbeat error: %v", err)
+	}
+	cl.Close()
+	// The survivor finishes everything, including the leaver's requeued task.
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -126,13 +126,22 @@ func Dial(addr string, opts DialOptions) (*Client, error) {
 	conn.SetDeadline(time.Time{})
 	c.welcome = *m.Welcome
 	c.rank = int(m.Rank)
+	if opts.Elastic {
+		// An elastic joiner's rank is minted by the coordinator only after
+		// the Ready/hash handshake verifies; the Welcome carries a
+		// provisional placeholder. The coordinator tracks the real rank per
+		// connection — the worker never needs it on the wire.
+		c.rank = -1
+	}
 	return c, nil
 }
 
 // Welcome returns the coordinator's advertised run parameters.
 func (c *Client) Welcome() RunConfig { return c.welcome }
 
-// Rank returns the rank the coordinator assigned this worker.
+// Rank returns the rank the coordinator assigned this worker, or -1 for an
+// elastic joiner (its rank is minted server-side after the hash handshake
+// and never travels back over the wire).
 func (c *Client) Rank() int { return c.rank }
 
 // Ready sends the worker's independently computed run hash (the coordinator
@@ -153,8 +162,15 @@ func (c *Client) Ready(hash uint64, heartbeatEvery time.Duration) error {
 // concurrently and more than once (the run loop's deferred teardown may race
 // a supervisor's Close).
 func (c *Client) Close() error {
-	c.closeOnce.Do(func() { close(c.hbStop) })
+	c.stopHeartbeat()
 	return c.conn.Close()
+}
+
+// stopHeartbeat asks the heartbeat loop to exit without touching the
+// connection. Safe to call concurrently and more than once; shared between
+// Close and Leave.
+func (c *Client) stopHeartbeat() {
+	c.closeOnce.Do(func() { close(c.hbStop) })
 }
 
 func (c *Client) heartbeatLoop(every time.Duration) {
@@ -275,6 +291,12 @@ func (c *Client) NextTask() (task int, ok bool, err error) {
 // this rank holds (without counting a failure) and confirms with a
 // shutdown. The caller should Close afterwards.
 func (c *Client) Leave() error {
+	// The coordinator retires this rank and closes the connection right
+	// after the Shutdown reply; a heartbeat racing that close would fail
+	// its send and record a spurious HeartbeatErr, which a supervisor
+	// reads as a heartbeat death rather than a graceful exit. Stop the
+	// heartbeat before announcing the departure.
+	c.stopHeartbeat()
 	m, err := c.roundTrip(&Message{Type: MsgLeave})
 	if err != nil {
 		return err

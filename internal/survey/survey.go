@@ -277,8 +277,11 @@ func clamp01(x float64) float64 {
 // pixel grid aligned with the box at the survey pixel scale, averaging
 // sky-subtracted, calibration-normalized intensities. The result mimics the
 // high signal-to-noise Stripe 82 coadds used for ground-truth estimation:
-// the returned image has Iota equal to the summed iotas and Sky equal to the
-// summed skies, with pixels in summed-count units.
+// the returned image has Iota equal to the summed iotas, Sky equal to the
+// summed skies, a PSF that is the iota-weighted average of the stacked
+// frames' PSF mixtures (a deeper frame contributes proportionally more of
+// the stack's light, so its seeing dominates), and pixels in summed-count
+// units.
 func (s *Survey) Coadd(box geom.Box, band int) *Image {
 	cfg := s.Config
 	w := int(math.Ceil(box.Width() / cfg.PixScale))
@@ -301,8 +304,12 @@ func (s *Survey) Coadd(box geom.Box, band int) *Image {
 		nStack++
 		out.Iota += im.Iota
 		out.Sky += im.Sky
-		if psfAccum == nil {
-			psfAccum = im.PSF
+		// The coadd PSF is the iota-weighted mixture average: each frame's
+		// components enter scaled by that frame's iota, and the total is
+		// normalized by the summed iota once the stack is complete.
+		for _, c := range im.PSF {
+			c.Weight *= im.Iota
+			psfAccum = append(psfAccum, c)
 		}
 		// Resample by nearest pixel (adequate: all frames share the scale).
 		for y := 0; y < h; y++ {
@@ -322,6 +329,11 @@ func (s *Survey) Coadd(box geom.Box, band int) *Image {
 	}
 	if nStack == 0 {
 		return nil
+	}
+	if out.Iota > 0 {
+		for i := range psfAccum {
+			psfAccum[i].Weight /= out.Iota
+		}
 	}
 	out.PSF = psfAccum
 	return out

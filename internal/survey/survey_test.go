@@ -6,6 +6,8 @@ import (
 
 	"celeste/internal/geom"
 	"celeste/internal/model"
+	"celeste/internal/mog"
+	"celeste/internal/psf"
 	"celeste/internal/rng"
 )
 
@@ -245,3 +247,57 @@ func TestTruthInBox(t *testing.T) {
 }
 
 func rngForTest(seed uint64) *rng.Source { return rng.New(seed) }
+
+// TestCoaddAveragesPSF: the coadd PSF must be the iota-weighted average of
+// the stacked frames' PSF mixtures, matching the doc comment. Pre-fix,
+// psfAccum never accumulated: the coadd silently carried only the first
+// frame's PSF while Iota and Sky summed, so a fit against a coadd used the
+// wrong seeing whenever frames differed.
+func TestCoaddAveragesPSF(t *testing.T) {
+	cfg := DefaultConfig(1)
+	const scale = 1.1e-4
+	cfg.PixScale = scale
+	box := geom.NewBox(0, 0, 32*scale, 32*scale)
+	mkImage := func(sigmaPx, iota float64) *Image {
+		im := &Image{
+			Band: model.RefBand, W: 64, H: 64,
+			WCS:  geom.NewSimpleWCS(-16*scale, -16*scale, scale),
+			PSF:  psf.Default(sigmaPx),
+			Iota: iota, Sky: 10,
+			Pixels: make([]float64, 64*64),
+		}
+		for i := range im.Pixels {
+			im.Pixels[i] = im.Sky
+		}
+		return im
+	}
+	sharp, blurry := mkImage(1.0, 300), mkImage(2.5, 100)
+	s := &Survey{Config: cfg, Images: []*Image{sharp, blurry}}
+
+	co := s.Coadd(box, model.RefBand)
+	if co == nil {
+		t.Fatal("no coadd produced")
+	}
+	if got, want := len(co.PSF), len(sharp.PSF)+len(blurry.PSF); got != want {
+		t.Fatalf("coadd PSF has %d components, want %d (both frames' mixtures)", got, want)
+	}
+	// Exact expectation: each frame's components weighted by iota_i / Σiota.
+	totIota := sharp.Iota + blurry.Iota
+	want := make(mog.Mixture, 0, len(sharp.PSF)+len(blurry.PSF))
+	for _, im := range []*Image{sharp, blurry} {
+		for _, c := range im.PSF {
+			c.Weight *= im.Iota / totIota
+			want = append(want, c)
+		}
+	}
+	for i, c := range co.PSF {
+		if math.Abs(c.Weight-want[i].Weight) > 1e-12 ||
+			c.Sxx != want[i].Sxx || c.Syy != want[i].Syy {
+			t.Fatalf("coadd PSF component %d = %+v, want %+v", i, c, want[i])
+		}
+	}
+	// The deeper (sharper) frame dominates: total weight stays normalized.
+	if tw := co.PSF.TotalWeight(); math.Abs(tw-1) > 1e-9 {
+		t.Errorf("coadd PSF total weight = %v, want ~1", tw)
+	}
+}
