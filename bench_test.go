@@ -341,6 +341,8 @@ func BenchmarkHotPath(b *testing.B) {
 		body func(*testing.B) int64
 	}{
 		{"elbo-eval", benchfix.BenchElboEval},
+		{"elbo-eval-multi", benchfix.BenchElboEvalMulti},
+		{"elbo-eval-par", benchfix.BenchElboEvalPar},
 		{"elbo-evalgrad", benchfix.BenchElboEvalGrad},
 		{"elbo-evalvalue", benchfix.BenchElboEvalValue},
 		{"vi-fit", benchfix.BenchViFit},

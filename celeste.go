@@ -124,6 +124,10 @@ type InferConfig struct {
 	TargetWork float64
 	// Threads per simulated process (Cyclades workers).
 	Threads int
+	// PatchThreads is the intra-fit patch-sweep worker count per thread
+	// (0 derives it from spare cores; see core.Config.PatchThreads).
+	// Bitwise-neutral like Threads: it never changes the catalog bytes.
+	PatchThreads int
 	// Processes simulated for Dtree/PGAS distribution.
 	Processes int
 	// Rounds of block coordinate ascent per task.
@@ -240,12 +244,13 @@ func InferWithOptions(sv *Survey, initCatalog []CatalogEntry, cfg InferConfig,
 		runOpts.CatalogEvery = opts.CatalogEvery
 	}
 	run, err := core.RunWithOptions(sv, initCatalog, tasks, core.Config{
-		Threads:    cfg.Threads,
-		Rounds:     cfg.Rounds,
-		Processes:  cfg.Processes,
-		Seed:       cfg.Seed,
-		Fit:        vi.Options{MaxIter: cfg.MaxIter, EagerHessian: cfg.EagerHessian},
-		ColdSweeps: cfg.ColdSweeps,
+		Threads:      cfg.Threads,
+		PatchThreads: cfg.PatchThreads,
+		Rounds:       cfg.Rounds,
+		Processes:    cfg.Processes,
+		Seed:         cfg.Seed,
+		Fit:          vi.Options{MaxIter: cfg.MaxIter, EagerHessian: cfg.EagerHessian},
+		ColdSweeps:   cfg.ColdSweeps,
 	}, runOpts)
 	if run == nil {
 		return nil, err

@@ -9,7 +9,8 @@ import (
 // recorded-but-unreferenced lane regresses silently (elbo_evalvalue and
 // core_process did, for two PRs), so the gate treats it as an error.
 func TestAllRecordedLanesHaveSeedReferences(t *testing.T) {
-	recorded := []string{"elbo_eval", "elbo_evalgrad", "elbo_evalvalue", "vi_fit", "core_process", "catalog_query"}
+	recorded := []string{"elbo_eval", "elbo_eval_multi", "elbo_eval_par", "elbo_evalgrad",
+		"elbo_evalvalue", "vi_fit", "core_process", "catalog_query"}
 	for _, name := range recorded {
 		ref, ok := seedReference[name]
 		if !ok || ref.NsPerOp <= 0 {
@@ -66,6 +67,31 @@ func TestGateFailures(t *testing.T) {
 			t.Fatalf("within-budget allocs flagged: %v", got)
 		}
 	})
+}
+
+func TestSpeedupFailures(t *testing.T) {
+	good := map[string]entry{
+		"elbo_eval_multi": {NsPerOp: 16e6},
+		"elbo_eval_par":   {NsPerOp: 4e6}, // 4x
+	}
+	bad := map[string]entry{
+		"elbo_eval_multi": {NsPerOp: 16e6},
+		"elbo_eval_par":   {NsPerOp: 15e6}, // 1.07x
+	}
+	if got := speedupFailures(good, 8); len(got) != 0 {
+		t.Errorf("4x speedup on 8 cpus flagged: %v", got)
+	}
+	if got := speedupFailures(bad, 8); len(got) != 1 || !strings.Contains(got[0], "speedup") {
+		t.Errorf("1.07x speedup on 8 cpus not flagged: %v", got)
+	}
+	// Below 8 CPUs the ratio gate is off (the regression gate still binds).
+	if got := speedupFailures(bad, 4); len(got) != 0 {
+		t.Errorf("speedup gated on a 4-cpu machine: %v", got)
+	}
+	// Missing lanes must not panic or fail.
+	if got := speedupFailures(map[string]entry{}, 16); len(got) != 0 {
+		t.Errorf("missing lanes flagged: %v", got)
+	}
 }
 
 func TestIterBenchtime(t *testing.T) {

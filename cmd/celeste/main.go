@@ -123,6 +123,7 @@ func main() {
 	sky := flag.String("sky", "sky", "survey directory from skygen")
 	out := flag.String("out", "catalog.jsonl", "output catalog path")
 	threads := flag.Int("threads", 8, "Cyclades worker threads per process")
+	patchThreads := flag.Int("patch-threads", 0, "intra-fit patch-sweep workers per thread (0: derive from spare cores; any value yields byte-identical catalogs)")
 	procs := flag.Int("procs", 4, "Dtree/PGAS processes (with -serve: expected worker connections)")
 	rounds := flag.Int("rounds", 2, "block coordinate ascent rounds per task")
 	maxIter := flag.Int("maxiter", 40, "Newton iterations per source fit")
@@ -191,7 +192,7 @@ func main() {
 		// Worker mode: pull tasks from the coordinator until the run ends.
 		// The run hash handshake proves this process reconstructed the same
 		// survey, catalog, and partition byte-for-byte.
-		wopts := celeste.WorkerOptions{Threads: *threads}
+		wopts := celeste.WorkerOptions{Threads: *threads, PatchThreads: *patchThreads}
 		if *elastic {
 			// Elastic workers expect churn: re-dial a few times if the
 			// connection (or heartbeat) drops mid-run.
@@ -254,7 +255,7 @@ func main() {
 		opts.Transport = &celeste.Transport{Listener: l}
 		fmt.Printf("serving on %s, expecting %d workers\n", l.Addr(), *procs)
 		if fc.SpawnSet {
-			spawned, err = spawnWorkers(l.Addr().String(), *spawn, *sky, *threads, false)
+			spawned, err = spawnWorkers(l.Addr().String(), *spawn, *sky, *threads, *patchThreads, false)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -272,7 +273,7 @@ func main() {
 				// spawn failed), so a fired timer guarantees the reaper a
 				// value to drain.
 				timer := time.AfterFunc(*churnAdd, func() {
-					extra, err := spawnWorkers(addr, 1, *sky, *threads, true)
+					extra, err := spawnWorkers(addr, 1, *sky, *threads, *patchThreads, true)
 					if err != nil {
 						fmt.Fprintf(os.Stderr, "churn: adding worker: %v\n", err)
 						joiner <- nil
@@ -288,8 +289,8 @@ func main() {
 
 	start := time.Now()
 	res, err := celeste.InferWithOptions(sv, init, celeste.InferConfig{
-		Threads: *threads, Processes: *procs, Rounds: *rounds,
-		MaxIter: *maxIter, Seed: *seed,
+		Threads: *threads, PatchThreads: *patchThreads, Processes: *procs,
+		Rounds: *rounds, MaxIter: *maxIter, Seed: *seed,
 	}, opts)
 	for _, cmd := range spawned {
 		// Workers exit after the coordinator's shutdown message; reap them.
@@ -420,7 +421,7 @@ func reapJoiner(timer *time.Timer, joiner <-chan *exec.Cmd) {
 }
 
 // spawnWorkers forks n copies of this binary in -worker mode against addr.
-func spawnWorkers(addr string, n int, sky string, threads int, elastic bool) ([]*exec.Cmd, error) {
+func spawnWorkers(addr string, n int, sky string, threads, patchThreads int, elastic bool) ([]*exec.Cmd, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
@@ -430,7 +431,8 @@ func spawnWorkers(addr string, n int, sky string, threads int, elastic bool) ([]
 		args := []string{
 			"-worker", addr,
 			"-sky", sky,
-			"-threads", strconv.Itoa(threads)}
+			"-threads", strconv.Itoa(threads),
+			"-patch-threads", strconv.Itoa(patchThreads)}
 		if elastic {
 			args = append(args, "-elastic")
 		}

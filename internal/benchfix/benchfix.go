@@ -9,7 +9,9 @@ package benchfix
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"celeste/internal/catserve"
 	"celeste/internal/core"
@@ -58,6 +60,46 @@ func SceneImages(seed uint64) ([]*survey.Image, model.CatalogEntry) {
 // SceneImages scene plus its initialization.
 func SingleSourceScene(seed uint64) (*elbo.Problem, model.Params) {
 	images, truth := SceneImages(seed)
+	priors := model.DefaultPriors()
+	pb := elbo.NewProblem(&priors, images, truth.Pos, 12)
+	return pb, model.InitialParams(&truth)
+}
+
+// MultiImageScene builds the multi-epoch fixture for the intra-fit
+// parallelism lanes: three epochs of the five-band SceneImages galaxy (15
+// patches), with per-epoch calibration differences but identical geometry —
+// same WCS, size, and PSF across epochs — so every patch sweeps the same row
+// widths and a warm parallel scratch stays allocation-free regardless of
+// which worker claims which patch.
+func MultiImageScene(seed uint64) (*elbo.Problem, model.Params) {
+	r := rng.New(seed)
+	truth := model.CatalogEntry{
+		Pos: geom.Pt2{RA: 0.003, Dec: 0.003}, ProbGal: 1,
+		Flux:       [model.NumBands]float64{10, 15, 20, 23, 25},
+		GalDevFrac: 0.3, GalAxisRatio: 0.6, GalAngle: 0.8, GalScale: 2 * PixScale,
+	}
+	var images []*survey.Image
+	size := 48
+	for ep := 0; ep < 3; ep++ {
+		for band := 0; band < model.NumBands; band++ {
+			w := geom.NewSimpleWCS(truth.Pos.RA-float64(size)/2*PixScale,
+				truth.Pos.Dec-float64(size)/2*PixScale, PixScale)
+			p := psf.Default(1.2)
+			iota := 100 + 12*float64(ep)
+			sky := 80 + 6*float64(ep)
+			im := &survey.Image{ID: ep*model.NumBands + band, Band: band,
+				W: size, H: size, WCS: w, PSF: p,
+				Iota: iota, Sky: sky, Pixels: make([]float64, size*size)}
+			for i := range im.Pixels {
+				im.Pixels[i] = sky
+			}
+			model.AddExpectedCounts(im.Pixels, size, size, w, p, &truth, band, iota, 6)
+			for i, lam := range im.Pixels {
+				im.Pixels[i] = float64(r.Poisson(lam))
+			}
+			images = append(images, im)
+		}
+	}
 	priors := model.DefaultPriors()
 	pb := elbo.NewProblem(&priors, images, truth.Pos, 12)
 	return pb, model.InitialParams(&truth)
@@ -150,6 +192,45 @@ func BenchElboEvalValue(b *testing.B) int64 {
 	return visits
 }
 
+// BenchElboEvalMulti measures serial steady-state derivative evaluation on
+// the 15-patch multi-image fixture — the baseline the parallel lane's
+// speedup and regression gate are measured against.
+func BenchElboEvalMulti(b *testing.B) int64 {
+	pb, init := MultiImageScene(11)
+	s := elbo.NewScratch()
+	pb.EvalInto(&init, s)
+	var visits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := pb.EvalInto(&init, s)
+		visits += r.Visits
+	}
+	return visits
+}
+
+// BenchElboEvalPar measures the same multi-image evaluation fanned out to 8
+// patch workers. The result is bitwise identical to BenchElboEvalMulti's;
+// only the wall clock differs (by up to the core count, 15 patches / 8
+// workers bounding the critical path at 2 patch sweeps).
+func BenchElboEvalPar(b *testing.B) int64 {
+	pb, init := MultiImageScene(11)
+	s := elbo.NewScratch()
+	s.SetWorkers(8)
+	for i := 0; i < 5; i++ {
+		// One warmup pass is not enough here: patch claiming is racy, so a
+		// crew worker can sit out an entire evaluation and first grow its
+		// sweep buffers inside the timed loop. A few passes warm all eight.
+		pb.EvalInto(&init, s)
+	}
+	var visits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := pb.EvalInto(&init, s)
+		visits += r.Visits
+	}
+	return visits
+}
+
 // BenchViFit measures a whole warm-scratch Newton trust-region fit.
 func BenchViFit(b *testing.B) int64 {
 	pb, init := SingleSourceScene(11)
@@ -173,6 +254,17 @@ func BenchViFit(b *testing.B) int64 {
 func AllocGates() map[string]float64 {
 	out := map[string]float64{}
 
+	// Flush pending runtime cleanups before counting: benchmark runs that
+	// preceded this call leave dead parallel scratches whose crew-shutdown
+	// cleanups (runtime.AddCleanup in elbo.SetWorkers) run asynchronously
+	// after a collection and would otherwise be attributed to whichever
+	// measurement window they land in. Two GCs queue and run them; the
+	// brief sleep lets the cleanup goroutine drain.
+	runtime.GC()
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	runtime.GC()
+
 	pb, init := SingleSourceScene(11)
 	es := elbo.NewScratch()
 	pb.EvalInto(&init, es)
@@ -181,6 +273,17 @@ func AllocGates() map[string]float64 {
 	out["elbo_evalgrad"] = testing.AllocsPerRun(5, func() { pb.EvalGradInto(&init, es) })
 	pb.EvalValueWith(&init, es)
 	out["elbo_evalvalue"] = testing.AllocsPerRun(5, func() { pb.EvalValueWith(&init, es) })
+
+	mpb, minit := MultiImageScene(11)
+	mes := elbo.NewScratch()
+	mpb.EvalInto(&minit, mes)
+	out["elbo_eval_multi"] = testing.AllocsPerRun(5, func() { mpb.EvalInto(&minit, mes) })
+	pes := elbo.NewScratch()
+	pes.SetWorkers(8)
+	for i := 0; i < 5; i++ { // racy claiming: a few passes warm every worker
+		mpb.EvalInto(&minit, pes)
+	}
+	out["elbo_eval_par"] = testing.AllocsPerRun(5, func() { mpb.EvalInto(&minit, pes) })
 
 	vs := vi.NewScratch()
 	opts := vi.Options{MaxIter: 25, GradTol: 1e-4}

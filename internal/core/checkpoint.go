@@ -79,10 +79,12 @@ func (ck *Checkpoint) Validate() error {
 
 // RunHash fingerprints everything that determines a run's output: the survey
 // (config and pixel data), the initialization catalog, the task partition,
-// and the numerically relevant config fields. Threads and Processes are
-// deliberately excluded — the stage-frozen read discipline makes the result
-// independent of both, and a checkpoint may legally resume at a different
-// {threads, procs} than it was taken at.
+// and the numerically relevant config fields. Threads, PatchThreads, and
+// Processes are deliberately excluded — the stage-frozen read discipline
+// makes the result independent of the source-level split, the fixed-order
+// partial reduction makes per-fit evaluations bitwise independent of the
+// patch-level split, and a checkpoint may legally resume at a different
+// {threads, patch threads, procs} than it was taken at.
 func RunHash(sv *survey.Survey, catalog []model.CatalogEntry, tasks []partition.Task, cfg Config) uint64 {
 	cfg.defaults()
 	h := fnv.New64a()

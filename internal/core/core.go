@@ -50,23 +50,49 @@ type Config struct {
 	// behavior. It exists for ablations and the warm-start catalog-delta
 	// test; warm sweeps are strictly cheaper.
 	ColdSweeps bool
+
+	// PatchThreads is the second level of the thread budget: the number of
+	// intra-fit patch-sweep workers each source fit's objective evaluations
+	// fan out to (vi.Options.PatchWorkers). Threads sweeps sources;
+	// PatchThreads parallelizes inside one source's evaluation, so machines
+	// with more cores than the source-level cap of 8 put the surplus to
+	// work. Default: NumCPU/Threads clamped to [1, 8]. The split is
+	// accounting-only and cannot affect results — parallel evaluation is
+	// bitwise identical to serial — so like Threads it is excluded from
+	// RunHash and never carried on the wire (each worker process derives its
+	// own from local core counts).
+	PatchThreads int
 }
 
+// defaults fills unset fields and clamps invalid ones. Zero means "use the
+// default", but negative or NaN values must be normalized too: a negative
+// Threads used to flow through and size the worker slice with a negative
+// length (a panic), and a negative Rounds silently skipped every sweep
+// locally while converting to a huge uint32 on the wire.
 func (c *Config) defaults() {
-	if c.Threads == 0 {
+	if c.Threads < 1 {
 		c.Threads = runtime.NumCPU()
 		if c.Threads > 8 {
 			c.Threads = 8
 		}
 	}
-	if c.Rounds == 0 {
+	if c.Rounds < 1 {
 		c.Rounds = 2
 	}
-	if c.BatchFrac == 0 {
+	if !(c.BatchFrac > 0) { // catches negative, zero, and NaN
 		c.BatchFrac = 0.34
 	}
-	if c.Processes == 0 {
+	if c.Processes < 1 {
 		c.Processes = 4
+	}
+	if c.PatchThreads < 1 {
+		c.PatchThreads = runtime.NumCPU() / c.Threads
+		if c.PatchThreads < 1 {
+			c.PatchThreads = 1
+		}
+		if c.PatchThreads > 8 {
+			c.PatchThreads = 8
+		}
 	}
 }
 
@@ -174,6 +200,13 @@ var processPool = freeList[processScratch]{newFn: func() *processScratch { retur
 // one thread with all overlapping light subtracted. Returns work statistics.
 func (cfg Config) Process(rg *Region) Stats {
 	cfg.defaults()
+	// Two-level thread budget: unless the caller pinned an explicit
+	// per-fit worker count, hand the patch-level share of the budget to
+	// every fit this sweep runs. Purely a throughput split — the fit
+	// results are bitwise identical at any worker count.
+	if cfg.Fit.PatchWorkers < 1 {
+		cfg.Fit.PatchWorkers = cfg.PatchThreads
+	}
 	var stats Stats
 	n := len(rg.Sources)
 	if n == 0 {

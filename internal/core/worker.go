@@ -25,6 +25,13 @@ type WorkerOptions struct {
 	// of it, so heterogeneous workers still produce identical bytes.
 	Threads int
 
+	// PatchThreads is the intra-fit patch-sweep worker count per thread
+	// (0 derives it from spare cores; see core.Config.PatchThreads). Free
+	// like Threads: the fixed-order partial reduction makes evaluations
+	// bitwise independent of it, so it is neither hashed nor on the wire —
+	// each worker process picks its own.
+	PatchThreads int
+
 	// HeartbeatEvery is the liveness beacon period (default 500ms); it must
 	// be well under the coordinator's DeadAfter.
 	HeartbeatEvery time.Duration
@@ -98,12 +105,13 @@ func RunWorker(addr string, sv *survey.Survey, catalog []model.CatalogEntry, opt
 			}
 			if !prepared {
 				cfg = Config{
-					Threads:   opts.Threads,
-					Rounds:    int(w.Rounds),
-					BatchFrac: w.BatchFrac,
-					Seed:      w.Seed,
-					Processes: int(w.Workers),
-					Fit:       vi.Options{MaxIter: int(w.MaxIter), GradTol: w.GradTol},
+					Threads:      opts.Threads,
+					PatchThreads: opts.PatchThreads,
+					Rounds:       int(w.Rounds),
+					BatchFrac:    w.BatchFrac,
+					Seed:         w.Seed,
+					Processes:    int(w.Workers),
+					Fit:          vi.Options{MaxIter: int(w.MaxIter), GradTol: w.GradTol},
 				}
 				tasks = partition.GenerateTwoStage(catalog, sv.Config.Region, partition.Options{
 					TargetWork: w.TargetWork,

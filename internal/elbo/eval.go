@@ -131,12 +131,11 @@ func (pb *Problem) Eval(theta *model.Params) *Result {
 // gradient and Hessian) is owned by s and valid until the next EvalInto with
 // the same scratch; steady-state calls perform zero heap allocations.
 //
-// The pixel loop is the row-sweep kernel: per patch, the active rectangle is
-// first clipped to the source's culling radius (pixels outside contribute
-// only their background term, accumulated in closed form from per-row prefix
-// sums); each remaining row is evaluated by mog.SweepRow into SoA lanes, and
-// the gradient/Hessian accumulation consumes the lanes in straight-line
-// loops with the brightness blocks folded into per-patch moments.
+// Per patch the row-sweep kernel runs in evalPatchFull, writing into the
+// patch's own partial accumulator — fanned out across the scratch's workers
+// when SetWorkers enabled them, inline otherwise — and the partials are then
+// reduced in fixed patch order, so the result is bitwise independent of the
+// worker count (see parallel.go).
 func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
 	if useScalarRef {
 		return pb.evalIntoRef(theta, s)
@@ -145,21 +144,61 @@ func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
 	res := &s.res
 
 	bm := s.computeBrightMoments(theta)
+	s.runPatches(pb, theta, bm, tierFull)
 
 	var grad [activeDim]float64
 	hess := s.activeHess // lower triangle
-
-	for _, p := range pb.Patches {
-		srcX, srcY := p.WCS.WorldToPix(pbPos(theta))
-		cx0, cy0, cx1, cy1 := cullRect(p.Rect, srcX, srcY, cullRadiusPx(theta, p))
-		res.Value += p.bgOutside(cx0, cy0, cx1, cy1)
-		if cx0 >= cx1 || cy0 >= cy1 {
-			continue
+	for i := range pb.Patches {
+		pp := &s.parts[i]
+		res.Value += pp.value
+		res.Visits += pp.visits
+		for j := 0; j < activeDim; j++ {
+			grad[j] += pp.grad[j]
 		}
-		w := cx1 - cx0
-		res.Visits += int64(w) * int64(cy1-cy0)
+		for r := 0; r < activeDim; r++ {
+			row := hess.Data[r*activeDim : r*activeDim+r+1]
+			prow := pp.hess.Data[r*activeDim:]
+			for c := range row {
+				row[c] += prow[c]
+			}
+		}
+	}
 
-		ev := s.buildEvaluator(theta, p)
+	pb.finishEval(theta, s, &grad)
+	return res
+}
+
+// evalPatchFull is the full-tier (value+gradient+Hessian) sweep of one
+// patch into its partial accumulator, using one worker's sweep state. The
+// pixel loop is the row-sweep kernel: the active rectangle is first clipped
+// to the source's culling radius (pixels outside contribute only their
+// background term, accumulated in closed form from per-row prefix sums);
+// each remaining row is evaluated by mog.SweepRow into SoA lanes, and the
+// gradient/Hessian accumulation consumes the lanes in straight-line loops
+// with the brightness blocks folded into per-patch moments.
+func (pb *Problem) evalPatchFull(theta *model.Params, bm *brightMoments, p *Patch,
+	ws *sweepState, out *patchPartial) {
+
+	out.value = 0
+	out.visits = 0
+	for i := range out.grad {
+		out.grad[i] = 0
+	}
+	out.hess.Zero()
+	grad := &out.grad
+	hess := out.hess // lower triangle
+
+	srcX, srcY := p.WCS.WorldToPix(pbPos(theta))
+	cx0, cy0, cx1, cy1 := cullRect(p.Rect, srcX, srcY, cullRadiusPx(theta, p))
+	out.value += p.bgOutside(cx0, cy0, cx1, cy1)
+	if cx0 >= cx1 || cy0 >= cy1 {
+		return
+	}
+	w := cx1 - cx0
+	out.visits += int64(w) * int64(cy1-cy0)
+
+	{
+		ev := ws.buildEvaluator(theta, p)
 		iota := p.Iota
 		b := p.Band
 		av, bv, cv, dv := &bm.A[b], &bm.B[b], &bm.C[b], &bm.D[b]
@@ -167,10 +206,10 @@ func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
 		aV, bV := iota*av.Val, iota*bv.Val
 		cV, dV := iota*iota*cv.Val, iota*iota*dv.Val
 
-		lanes := &s.lanes
+		lanes := ws.lanes
 		lanes.Resize(w)
-		s.dxs = sliceutil.Grow(s.dxs, w)
-		dxs := s.dxs[:w]
+		ws.dxs = sliceutil.Grow(ws.dxs, w)
+		dxs := ws.dxs[:w]
 		for i := range dxs {
 			dxs[i] = float64(cx0+i) - srcX
 		}
@@ -216,7 +255,7 @@ func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
 				inv2 := inv * inv
 				inv3 := inv2 * inv
 				inv4 := inv2 * inv2
-				res.Value += obs*(math.Log(ef)-vf*inv2/2) - ef
+				out.value += obs*(math.Log(ef)-vf*inv2/2) - ef
 				p1 := obs*(inv+m*inv2+vf*inv3) - 1
 				p2 := -obs * inv2 / 2
 				p11 := obs * (-4*m*inv3 - 3*vf*inv4)
@@ -348,9 +387,6 @@ func (pb *Problem) EvalInto(theta *model.Params, s *Scratch) *Result {
 			}
 		}
 	}
-
-	pb.finishEval(theta, s, &grad)
-	return res
 }
 
 // finishEval scatters the active block into the global result and adds the
@@ -416,63 +452,20 @@ func (pb *Problem) EvalValueWith(theta *model.Params, s *Scratch) (float64, int6
 	if useScalarRef {
 		return pb.evalValueRef(theta, s)
 	}
-	c := theta.Constrained()
-	m1s, m2s := model.FluxMoments(c.R1[model.Star], c.R2[model.Star], c.C1[model.Star], c.C2[model.Star])
-	m1g, m2g := model.FluxMoments(c.R1[model.Gal], c.R2[model.Gal], c.C1[model.Gal], c.C2[model.Gal])
-	chiS, chiG := 1-c.ProbGal, c.ProbGal
+	vc := &s.job.vc
+	vc.c = theta.Constrained()
+	c := &vc.c
+	vc.m1s, vc.m2s = model.FluxMoments(c.R1[model.Star], c.R2[model.Star], c.C1[model.Star], c.C2[model.Star])
+	vc.m1g, vc.m2g = model.FluxMoments(c.R1[model.Gal], c.R2[model.Gal], c.C1[model.Gal], c.C2[model.Gal])
+	vc.chiS, vc.chiG = 1-c.ProbGal, c.ProbGal
+
+	s.runPatches(pb, theta, nil, tierValue)
 
 	var value float64
 	var visits int64
-	for _, p := range pb.Patches {
-		px, py := p.WCS.WorldToPix(c.Pos)
-		cx0, cy0, cx1, cy1 := cullRect(p.Rect, px, py, cullRadiusPx(theta, p))
-		value += p.bgOutside(cx0, cy0, cx1, cy1)
-		if cx0 >= cx1 || cy0 >= cy1 {
-			continue
-		}
-		w := cx1 - cx0
-		visits += int64(w) * int64(cy1-cy0)
-
-		// Compile the star and galaxy appearance mixtures once per patch:
-		// per-row evaluation is then one interval clip per component plus
-		// two multiplies per active pixel.
-		s.starV = mog.CompileInto(s.starV[:0], p.PSF)
-		s.galV = mog.CompileInto(s.galV[:0], s.galaxyMixtureInto(&c, p))
-		iota := p.Iota
-		b := p.Band
-		aV := iota * chiS * m1s[b]
-		bV := iota * chiG * m1g[b]
-		cV := iota * iota * chiS * m2s[b]
-		dV := iota * iota * chiG * m2g[b]
-
-		s.dxs = sliceutil.Grow(s.dxs, w)
-		s.rowS = sliceutil.Grow(s.rowS, w)
-		s.rowG = sliceutil.Grow(s.rowG, w)
-		dxs, rowS, rowG := s.dxs[:w], s.rowS[:w], s.rowG[:w]
-		for i := range dxs {
-			dxs[i] = float64(cx0+i) - px
-		}
-		rectW := p.Rect.Width()
-		for y := cy0; y < cy1; y++ {
-			dy := float64(y) - py
-			mog.SweepRowValue(rowS, s.starV, dxs, dy)
-			mog.SweepRowValue(rowG, s.galV, dxs, dy)
-			base := (y-p.Rect.Y0)*rectW + (cx0 - p.Rect.X0)
-			obsRow := p.Obs[base : base+w]
-			bgRow := p.Bg[base : base+w]
-			vbgRow := p.VBg[base : base+w]
-			for i := 0; i < w; i++ {
-				gs, gg := rowS[i], rowG[i]
-				m := aV*gs + bV*gg
-				e2 := cV*gs*gs + dV*gg*gg
-				ef := bgRow[i] + m
-				vf := vbgRow[i] + e2 - m*m
-				if ef <= 0 {
-					continue
-				}
-				value += obsRow[i]*(math.Log(ef)-vf/(2*ef*ef)) - ef
-			}
-		}
+	for i := range pb.Patches {
+		value += s.parts[i].value
+		visits += s.parts[i].visits
 	}
 	kl := klValue(theta, pb.Priors)
 	value -= kl
@@ -482,6 +475,67 @@ func (pb *Problem) EvalValueWith(theta *model.Params, s *Scratch) (float64, int6
 		value -= 0.5 * pb.PosPenalty * (dra*dra + ddec*ddec)
 	}
 	return value, visits
+}
+
+// evalPatchValue is the value tier's per-patch sweep into a partial
+// accumulator, using one worker's sweep state and the caller-computed value
+// constants (constrained parameters and flux moments).
+func (pb *Problem) evalPatchValue(theta *model.Params, vc *valueConsts, p *Patch,
+	ws *sweepState, out *patchPartial) {
+
+	out.value = 0
+	out.visits = 0
+	c := &vc.c
+
+	px, py := p.WCS.WorldToPix(c.Pos)
+	cx0, cy0, cx1, cy1 := cullRect(p.Rect, px, py, cullRadiusPx(theta, p))
+	out.value += p.bgOutside(cx0, cy0, cx1, cy1)
+	if cx0 >= cx1 || cy0 >= cy1 {
+		return
+	}
+	w := cx1 - cx0
+	out.visits += int64(w) * int64(cy1-cy0)
+
+	// Compile the star and galaxy appearance mixtures once per patch:
+	// per-row evaluation is then one interval clip per component plus
+	// two multiplies per active pixel.
+	ws.starV = mog.CompileInto(ws.starV[:0], p.PSF)
+	ws.galV = mog.CompileInto(ws.galV[:0], ws.galaxyMixtureInto(c, p))
+	iota := p.Iota
+	b := p.Band
+	aV := iota * vc.chiS * vc.m1s[b]
+	bV := iota * vc.chiG * vc.m1g[b]
+	cV := iota * iota * vc.chiS * vc.m2s[b]
+	dV := iota * iota * vc.chiG * vc.m2g[b]
+
+	ws.dxs = sliceutil.Grow(ws.dxs, w)
+	ws.rowS = sliceutil.Grow(ws.rowS, w)
+	ws.rowG = sliceutil.Grow(ws.rowG, w)
+	dxs, rowS, rowG := ws.dxs[:w], ws.rowS[:w], ws.rowG[:w]
+	for i := range dxs {
+		dxs[i] = float64(cx0+i) - px
+	}
+	rectW := p.Rect.Width()
+	for y := cy0; y < cy1; y++ {
+		dy := float64(y) - py
+		mog.SweepRowValue(rowS, ws.starV, dxs, dy)
+		mog.SweepRowValue(rowG, ws.galV, dxs, dy)
+		base := (y-p.Rect.Y0)*rectW + (cx0 - p.Rect.X0)
+		obsRow := p.Obs[base : base+w]
+		bgRow := p.Bg[base : base+w]
+		vbgRow := p.VBg[base : base+w]
+		for i := 0; i < w; i++ {
+			gs, gg := rowS[i], rowG[i]
+			m := aV*gs + bV*gg
+			e2 := cV*gs*gs + dV*gg*gg
+			ef := bgRow[i] + m
+			vf := vbgRow[i] + e2 - m*m
+			if ef <= 0 {
+				continue
+			}
+			out.value += obsRow[i]*(math.Log(ef)-vf/(2*ef*ef)) - ef
+		}
+	}
 }
 
 func activeGlobal(i int) int {

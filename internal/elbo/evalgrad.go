@@ -66,30 +66,73 @@ func (pb *Problem) EvalGradInto(theta *model.Params, s *Scratch) *GradResult {
 	}()
 
 	bm := s.computeBrightMoments(theta)
+	s.runPatches(pb, theta, bm, tierGrad)
 
 	var grad [activeDim]float64
-
-	for _, p := range pb.Patches {
-		srcX, srcY := p.WCS.WorldToPix(pbPos(theta))
-		cx0, cy0, cx1, cy1 := cullRect(p.Rect, srcX, srcY, cullRadiusPx(theta, p))
-		res.Value += p.bgOutside(cx0, cy0, cx1, cy1)
-		if cx0 >= cx1 || cy0 >= cy1 {
-			continue
+	for i := range pb.Patches {
+		pp := &s.parts[i]
+		res.Value += pp.value
+		res.Visits += pp.visits
+		for j := 0; j < activeDim; j++ {
+			grad[j] += pp.grad[j]
 		}
-		w := cx1 - cx0
-		res.Visits += int64(w) * int64(cy1-cy0)
+	}
 
-		ev := s.buildEvaluator(theta, p)
+	// Scatter the active block, then the KL and anchor terms — the same
+	// subgraphs EvalInto differentiates, so the shared coordinates match it
+	// exactly.
+	for i := 0; i < activeDim; i++ {
+		res.Grad[activeGlobal(i)] += grad[i]
+	}
+	kl := s.computeKL(theta, pb.Priors)
+	res.Value -= kl.Val
+	for l := 0; l < klDim; l++ {
+		res.Grad[klGlobal[l]] -= kl.Grad[l]
+	}
+	if pb.PosPenalty > 0 {
+		dra := theta[model.ParamRA] - pb.PosAnchor.RA
+		ddec := theta[model.ParamDec] - pb.PosAnchor.Dec
+		res.Value -= 0.5 * pb.PosPenalty * (dra*dra + ddec*ddec)
+		res.Grad[model.ParamRA] -= pb.PosPenalty * dra
+		res.Grad[model.ParamDec] -= pb.PosPenalty * ddec
+	}
+	return res
+}
+
+// evalPatchGrad is the gradient tier's per-patch sweep into a partial
+// accumulator: the same culling geometry and accumulation expressions as
+// evalPatchFull with every Hessian-bearing computation removed.
+func (pb *Problem) evalPatchGrad(theta *model.Params, bm *brightMoments, p *Patch,
+	ws *sweepState, out *patchPartial) {
+
+	out.value = 0
+	out.visits = 0
+	for i := range out.grad {
+		out.grad[i] = 0
+	}
+	grad := &out.grad
+
+	srcX, srcY := p.WCS.WorldToPix(pbPos(theta))
+	cx0, cy0, cx1, cy1 := cullRect(p.Rect, srcX, srcY, cullRadiusPx(theta, p))
+	out.value += p.bgOutside(cx0, cy0, cx1, cy1)
+	if cx0 >= cx1 || cy0 >= cy1 {
+		return
+	}
+	w := cx1 - cx0
+	out.visits += int64(w) * int64(cy1-cy0)
+
+	{
+		ev := ws.buildEvaluator(theta, p)
 		iota := p.Iota
 		b := p.Band
 		av, bv, cv, dv := &bm.A[b], &bm.B[b], &bm.C[b], &bm.D[b]
 		aV, bV := iota*av.Val, iota*bv.Val
 		cV, dV := iota*iota*cv.Val, iota*iota*dv.Val
 
-		lanes := &s.lanes
+		lanes := ws.lanes
 		lanes.Resize(w)
-		s.dxs = sliceutil.Grow(s.dxs, w)
-		dxs := s.dxs[:w]
+		ws.dxs = sliceutil.Grow(ws.dxs, w)
+		dxs := ws.dxs[:w]
 		for i := range dxs {
 			dxs[i] = float64(cx0+i) - srcX
 		}
@@ -132,7 +175,7 @@ func (pb *Problem) EvalGradInto(theta *model.Params, s *Scratch) *GradResult {
 				inv := 1 / ef
 				inv2 := inv * inv
 				inv3 := inv2 * inv
-				res.Value += obs*(math.Log(ef)-vf*inv2/2) - ef
+				out.value += obs*(math.Log(ef)-vf*inv2/2) - ef
 				p1 := obs*(inv+m*inv2+vf*inv3) - 1
 				p2 := -obs * inv2 / 2
 
@@ -170,24 +213,4 @@ func (pb *Problem) EvalGradInto(theta *model.Params, s *Scratch) *GradResult {
 			grad[6+li] += iota*(avG*p1s+bvG*p1g) + iota2*(cvG*p2ss+dvG*p2gg)
 		}
 	}
-
-	// Scatter the active block, then the KL and anchor terms — the same
-	// subgraphs EvalInto differentiates, so the shared coordinates match it
-	// exactly.
-	for i := 0; i < activeDim; i++ {
-		res.Grad[activeGlobal(i)] += grad[i]
-	}
-	kl := s.computeKL(theta, pb.Priors)
-	res.Value -= kl.Val
-	for l := 0; l < klDim; l++ {
-		res.Grad[klGlobal[l]] -= kl.Grad[l]
-	}
-	if pb.PosPenalty > 0 {
-		dra := theta[model.ParamRA] - pb.PosAnchor.RA
-		ddec := theta[model.ParamDec] - pb.PosAnchor.Dec
-		res.Value -= 0.5 * pb.PosPenalty * (dra*dra + ddec*ddec)
-		res.Grad[model.ParamRA] -= pb.PosPenalty * dra
-		res.Grad[model.ParamDec] -= pb.PosPenalty * ddec
-	}
-	return res
 }

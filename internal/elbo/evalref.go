@@ -43,8 +43,9 @@ func (pb *Problem) evalIntoRef(theta *model.Params, s *Scratch) *Result {
 
 	var gm, ge2 [activeDim]float64 // scratch: ∇m, ∇e2 per pixel
 
+	sw := s.states[0] // the reference path stays serial on the owner's state
 	for _, p := range pb.Patches {
-		ev := s.buildEvaluator(theta, p)
+		ev := sw.buildEvaluator(theta, p)
 		srcX, srcY := p.WCS.WorldToPix(pbPos(theta))
 		iota := p.Iota
 		b := p.Band
@@ -161,13 +162,14 @@ func (pb *Problem) evalValueRef(theta *model.Params, s *Scratch) (float64, int64
 
 	var value float64
 	var visits int64
+	sw := s.states[0] // the reference path stays serial on the owner's state
 	for _, p := range pb.Patches {
 		// Compile the star and galaxy appearance mixtures once per patch:
 		// per-pixel evaluation is then one quadratic form and at most one
 		// exponential per component, truncated exactly like the derivative
 		// path.
-		s.starV = mog.CompileInto(s.starV[:0], p.PSF)
-		s.galV = mog.CompileInto(s.galV[:0], s.galaxyMixtureInto(&c, p))
+		sw.starV = mog.CompileInto(sw.starV[:0], p.PSF)
+		sw.galV = mog.CompileInto(sw.galV[:0], sw.galaxyMixtureInto(&c, p))
 		px, py := p.WCS.WorldToPix(c.Pos)
 		iota := p.Iota
 		b := p.Band
@@ -181,8 +183,8 @@ func (pb *Problem) evalValueRef(theta *model.Params, s *Scratch) (float64, int64
 				obs, bg, vbg := p.Obs[k], p.Bg[k], p.VBg[k]
 				k++
 				visits++
-				gs := mog.EvalComps(s.starV, float64(x)-px, float64(y)-py)
-				gg := mog.EvalComps(s.galV, float64(x)-px, float64(y)-py)
+				gs := mog.EvalComps(sw.starV, float64(x)-px, float64(y)-py)
+				gg := mog.EvalComps(sw.galV, float64(x)-px, float64(y)-py)
 				m := aV*gs + bV*gg
 				e2 := cV*gs*gs + dV*gg*gg
 				ef := bg + m

@@ -7,7 +7,6 @@ import (
 	"celeste/internal/galprof"
 	"celeste/internal/mathx"
 	"celeste/internal/model"
-	"celeste/internal/mog"
 )
 
 // Shared galaxy profile mixtures.
@@ -375,14 +374,4 @@ func klValue(theta *model.Params, priors *model.Priors) float64 {
 		total += (chi[t] + klWeightFloor) * inner
 	}
 	return total
-}
-
-// buildEvaluator (re)builds the scratch's spatial dual evaluator for one
-// patch at the current shape parameters, reusing its component storage.
-func (s *Scratch) buildEvaluator(theta *model.Params, p *Patch) *mog.Evaluator {
-	s.ev.Build(p.PSF, expProf, devProf,
-		theta[model.ParamGalDevLogit], theta[model.ParamGalABLogit],
-		theta[model.ParamGalAngle], theta[model.ParamGalLogScale],
-		model.JacFromWCS(p.WCS))
-	return &s.ev
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package elbo
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package elbo
+
+// raceEnabled reports whether the race detector is instrumenting this build;
+// allocation-count assertions are meaningless under it (the detector's shadow
+// state allocates on channel and synchronization operations).
+const raceEnabled = true

@@ -4,20 +4,22 @@ import (
 	"celeste/internal/ad"
 	"celeste/internal/linalg"
 	"celeste/internal/model"
-	"celeste/internal/mog"
 )
 
 // Scratch owns every buffer one objective evaluation needs: the Result
-// (with its 44x44 Hessian), the 28x28 active-block accumulator, the spatial
-// dual evaluator, the AD arenas for the brightness-moment and KL subgraphs,
-// and the value-path mixture buffers. One Scratch serves one goroutine; after
-// the first evaluation warms it, EvalInto and EvalValueWith perform zero heap
+// (with its 44x44 Hessian), the 28x28 active-block accumulator, the AD
+// arenas for the brightness-moment and KL subgraphs, the per-worker sweep
+// states (spatial dual evaluator, SoA row lanes, value-path mixture
+// buffers), and the per-patch partial accumulators the fixed-order reduction
+// consumes. One Scratch serves one goroutine — with SetWorkers(n > 1) the
+// scratch additionally owns n-1 persistent sweep goroutines, but they only
+// run inside an evaluation the owning goroutine started. After the first
+// evaluation warms it, EvalInto and EvalValueWith perform zero heap
 // allocations. A Cyclades worker owns one Scratch for its whole sweep.
 type Scratch struct {
 	res        Result
 	gres       GradResult  // gradient-tier result (EvalGradInto)
 	activeHess *linalg.Mat // activeDim x activeDim, lower triangle
-	ev         mog.Evaluator
 
 	// Brightness-moment AD subgraphs: a bmTDim-dimensional space for the
 	// per-type flux subgraphs and a 2-dimensional one for the type weights,
@@ -42,18 +44,13 @@ type Scratch struct {
 	klK      [model.NumPriorComps]*ad.Num
 	klOut    klResult
 
-	// Value-only path buffers.
-	comb   []mog.ProfComp
-	galMix mog.Mixture
-	starV  []mog.ValueComp
-	galV   []mog.ValueComp
-
-	// Row-sweep kernel buffers: the SoA lanes one SweepRow fills, the
-	// unit-spaced pixel x-offsets of the current row window, and the
-	// value-path star/galaxy density rows.
-	lanes      mog.RowLanes
-	dxs        []float64
-	rowS, rowG []float64
+	// Patch fan-out state (see parallel.go): one sweep state per worker
+	// (slot 0 is the owning goroutine), the per-patch partial accumulators,
+	// the persistent crew, and the per-evaluation job header.
+	states []*sweepState
+	parts  []patchPartial
+	crew   *evalCrew
+	job    parJob
 }
 
 // NewScratch returns a Scratch ready for evaluations of any Problem.
@@ -65,6 +62,7 @@ func NewScratch() *Scratch {
 		bmSpace2:   ad.NewSpace(2),
 		klSpaceT:   ad.NewSpace(klTDim),
 		klSpace2:   ad.NewSpace(2),
+		states:     []*sweepState{newSweepState()},
 	}
 }
 
@@ -77,14 +75,4 @@ func (s *Scratch) reset() {
 	}
 	s.res.Hess.Zero()
 	s.activeHess.Zero()
-}
-
-// galaxyMixtureInto builds the value-path galaxy appearance mixture for one
-// patch into the scratch buffers (see galaxyMixtureFor).
-func (s *Scratch) galaxyMixtureInto(c *model.Constrained, p *Patch) mog.Mixture {
-	s.comb = appendProfileBlend(s.comb[:0], c.GalDevFrac)
-	s.galMix = mog.GalaxyMixtureInto(s.galMix[:0], p.PSF, s.comb,
-		clampAB(c.GalAxisRatio), c.GalAngle, clampScale(c.GalScale),
-		model.JacFromWCS(p.WCS))
-	return s.galMix
 }

@@ -1,0 +1,41 @@
+package mog
+
+import "sync"
+
+// lanesFree is a mutex-guarded free list of RowLanes slabs. Like core's
+// scratch pools it is deliberately not a sync.Pool: a garbage collection
+// mid-run must not discard warm lane slabs and force the next sweep worker to
+// regrow them from zero. Retention is bounded by the high-water mark of
+// concurrent sweep workers (source-level threads x patch-level workers),
+// which is exactly the working set a long-running process needs.
+var lanesFree struct {
+	mu   sync.Mutex
+	free []*RowLanes
+}
+
+// GetRowLanes returns a RowLanes from the free list, or a fresh one when the
+// list is empty. The lanes' width and contents are unspecified; callers
+// Resize before the first sweep.
+func GetRowLanes() *RowLanes {
+	lanesFree.mu.Lock()
+	if n := len(lanesFree.free); n > 0 {
+		l := lanesFree.free[n-1]
+		lanesFree.free[n-1] = nil
+		lanesFree.free = lanesFree.free[:n-1]
+		lanesFree.mu.Unlock()
+		return l
+	}
+	lanesFree.mu.Unlock()
+	return new(RowLanes)
+}
+
+// PutRowLanes returns lanes to the free list so a future sweep worker reuses
+// the warm slabs. The caller must not use lanes afterwards.
+func PutRowLanes(l *RowLanes) {
+	if l == nil {
+		return
+	}
+	lanesFree.mu.Lock()
+	lanesFree.free = append(lanesFree.free, l)
+	lanesFree.mu.Unlock()
+}

@@ -1,0 +1,97 @@
+package vi
+
+import (
+	"math"
+	"testing"
+
+	"celeste/internal/elbo"
+	"celeste/internal/geom"
+	"celeste/internal/model"
+)
+
+// TestScaleForUsesFinestPixelScale is the regression test for the trust-region
+// scaling bug: scaleFor used Patches[0].WCS.PixScale() only, so on a
+// mixed-resolution patch set where a coarser image happened to sort first, the
+// position scaling let one trust-region step move the source several pixels on
+// the finest image. The finest scale across ALL patches is the binding one.
+func TestScaleForUsesFinestPixelScale(t *testing.T) {
+	coarse, fine := 2e-4, 1e-4
+	pb := &elbo.Problem{Patches: []*elbo.Patch{
+		{WCS: geom.NewSimpleWCS(0, 0, coarse)}, // coarse image first: the pre-fix code picked this one
+		{WCS: geom.NewSimpleWCS(0, 0, fine)},
+	}}
+	s := NewScratch()
+	scale := s.scaleFor(pb)
+	if got, want := scale[model.ParamRA], 1/fine; got != want {
+		t.Errorf("scale[RA] = %v, want 1/finest = %v (coarse-first patch order)", got, want)
+	}
+	if got, want := scale[model.ParamDec], 1/fine; got != want {
+		t.Errorf("scale[Dec] = %v, want 1/finest = %v", got, want)
+	}
+	for i, v := range scale {
+		if i != int(model.ParamRA) && i != int(model.ParamDec) && v != 1 {
+			t.Errorf("scale[%d] = %v, want 1", i, v)
+		}
+	}
+
+	// Order independence: finest-first must give the same scaling.
+	pb.Patches[0], pb.Patches[1] = pb.Patches[1], pb.Patches[0]
+	scale = s.scaleFor(pb)
+	if got, want := scale[model.ParamRA], 1/fine; got != want {
+		t.Errorf("scale[RA] = %v after reorder, want %v", got, want)
+	}
+
+	// No patches: positions fall back to unit scale rather than divide by zero.
+	scale = s.scaleFor(&elbo.Problem{})
+	if scale[model.ParamRA] != 1 {
+		t.Errorf("empty problem: scale[RA] = %v, want 1", scale[model.ParamRA])
+	}
+}
+
+// TestFitPatchWorkersMatchesSerial locks in the intra-fit parallelism
+// contract: a fit with PatchWorkers > 1 must reproduce the serial fit exactly
+// — same parameter bits, same ELBO bits, same iteration and evaluation
+// counts, same visit totals. CI runs this under -race, which also proves the
+// fit accounting (visits, eval seconds) is data-race-free under the fan-out.
+func TestFitPatchWorkersMatchesSerial(t *testing.T) {
+	truth := galTruth()
+	pb, init := makeScene(t, 303, truth, 3)
+
+	serial := FitWith(pb, init, Options{}, NewScratch())
+	for _, workers := range []int{2, 4, 8} {
+		par := FitWith(pb, init, Options{PatchWorkers: workers}, NewScratch())
+		for i := range serial.Params {
+			if math.Float64bits(serial.Params[i]) != math.Float64bits(par.Params[i]) {
+				t.Fatalf("workers=%d: Params[%d] = %v, serial %v", workers, i, par.Params[i], serial.Params[i])
+			}
+		}
+		if math.Float64bits(serial.ELBO) != math.Float64bits(par.ELBO) {
+			t.Errorf("workers=%d: ELBO = %v, serial %v", workers, par.ELBO, serial.ELBO)
+		}
+		if serial.Iters != par.Iters || serial.FullEvals != par.FullEvals ||
+			serial.GradEvals != par.GradEvals || serial.ValEvals != par.ValEvals {
+			t.Errorf("workers=%d: evals (it=%d full=%d grad=%d val=%d) differ from serial (it=%d full=%d grad=%d val=%d)",
+				workers, par.Iters, par.FullEvals, par.GradEvals, par.ValEvals,
+				serial.Iters, serial.FullEvals, serial.GradEvals, serial.ValEvals)
+		}
+		if serial.Visits != par.Visits {
+			t.Errorf("workers=%d: Visits = %d, serial %d", workers, par.Visits, serial.Visits)
+		}
+		if serial.Converged != par.Converged {
+			t.Errorf("workers=%d: Converged = %v, serial %v", workers, par.Converged, serial.Converged)
+		}
+		if math.Float64bits(serial.FinalRadius) != math.Float64bits(par.FinalRadius) {
+			t.Errorf("workers=%d: FinalRadius = %v, serial %v", workers, par.FinalRadius, serial.FinalRadius)
+		}
+	}
+
+	// Reusing one scratch across worker counts must behave identically to
+	// fresh scratches (SetWorkers reconfigures the crew between fits).
+	s := NewScratch()
+	for _, workers := range []int{4, 1, 2} {
+		res := FitWith(pb, init, Options{PatchWorkers: workers}, s)
+		if math.Float64bits(serial.ELBO) != math.Float64bits(res.ELBO) {
+			t.Errorf("shared scratch, workers=%d: ELBO = %v, serial %v", workers, res.ELBO, serial.ELBO)
+		}
+	}
+}

@@ -34,17 +34,31 @@ type Options struct {
 	// 0.5). Cross-sweep warm starts pass the previous sweep's converged
 	// radius so a re-fit skips the radius walk-down.
 	InitRadius float64
+
+	// PatchWorkers is the number of intra-fit patch-sweep workers each
+	// objective evaluation fans out to (default 1 = serial; see
+	// elbo.Scratch.SetWorkers). Parallel evaluation is bitwise identical to
+	// serial, so like core.Config.Threads this is purely a throughput knob —
+	// the second level of the two-level thread budget, feeding cores beyond
+	// the source-level sweep.
+	PatchWorkers int
 }
 
+// defaults replaces unset or invalid (negative, NaN) options with their
+// defaults: an optimizer handed a nonsensical tolerance or iteration budget
+// must degrade to the documented default, not spin forever or do nothing.
 func (o *Options) defaults() {
-	if o.MaxIter == 0 {
+	if o.MaxIter <= 0 {
 		o.MaxIter = 60
 	}
-	if o.GradTol == 0 {
+	if !(o.GradTol > 0) {
 		o.GradTol = DefaultGradTol
 	}
-	if o.InitRadius == 0 {
+	if !(o.InitRadius > 0) {
 		o.InitRadius = 0.5
+	}
+	if o.PatchWorkers < 1 {
+		o.PatchWorkers = 1
 	}
 }
 
@@ -153,16 +167,24 @@ func (s *Scratch) Value(x []float64) float64 {
 
 // scaleFor builds the trust-region coordinate scaling for a problem: unit
 // for every parameter except the two position coordinates, which are scaled
-// from degrees to pixels using the first patch's WCS.
+// from degrees to pixels using the finest pixel scale across the problem's
+// patches. The finest scale is the binding one: on a mixed-resolution patch
+// set a radius derived from a coarser image would let one trust-region step
+// move the source several pixels on the finest image — exactly the
+// barrier-jumping failure mode the elliptical region exists to prevent.
 func (s *Scratch) scaleFor(pb *elbo.Problem) []float64 {
 	for i := range s.scale {
 		s.scale[i] = 1
 	}
-	if len(pb.Patches) > 0 {
-		if ps := pb.Patches[0].WCS.PixScale(); ps > 0 {
-			s.scale[model.ParamRA] = 1 / ps
-			s.scale[model.ParamDec] = 1 / ps
+	finest := 0.0
+	for _, p := range pb.Patches {
+		if ps := p.WCS.PixScale(); ps > 0 && (finest == 0 || ps < finest) {
+			finest = ps
 		}
+	}
+	if finest > 0 {
+		s.scale[model.ParamRA] = 1 / finest
+		s.scale[model.ParamDec] = 1 / finest
 	}
 	return s.scale[:]
 }
@@ -188,6 +210,13 @@ func FitWith(pb *elbo.Problem, init model.Params, o Options, s *Scratch) FitResu
 	s.pb = pb
 	s.visits = 0
 	s.evalSec = 0
+	// Intra-fit parallelism: objective evaluations fan their patch sweeps
+	// out to this many workers. The fit's accounting (s.visits, s.evalSec)
+	// stays exact and race-free regardless: per-patch visit counts are
+	// summed from the partial accumulators inside elbo's fixed-order
+	// reduction, and both counters are incremented only here on the fit
+	// goroutine, after the fan-out barrier.
+	s.es.SetWorkers(o.PatchWorkers)
 	start := time.Now()
 
 	res := opt.NewtonTRWS(s, init[:], s.ws, opt.TROptions{
