@@ -82,6 +82,12 @@ type (
 	Transport = cnet.Transport
 	// WorkerOptions configures one TCP worker process (see RunWorker).
 	WorkerOptions = core.WorkerOptions
+	// Backoff is a deterministic capped jittered exponential delay schedule,
+	// used for worker re-enrollment (WorkerOptions.RejoinBackoff) and
+	// coordinator restarts (SuperviseOptions.Backoff).
+	Backoff = core.Backoff
+	// SuperviseOptions configures Supervise.
+	SuperviseOptions = core.SuperviseOptions
 	// CatalogStore is the catalog-as-a-service index: a quadtree over
 	// (ra, dec) holding posterior summaries behind an RCU snapshot, fed
 	// incrementally by a running inference (InferOptions.Catalog) or built
@@ -282,6 +288,16 @@ func NewCatalogStore(bounds SkyBox, entries []CatalogEntry, opts CatalogOptions)
 // (cone / box / brightest-N / stats endpoints with per-snapshot caching).
 func NewCatalogServer(store *CatalogStore) *CatalogServer {
 	return catserve.NewServer(store)
+}
+
+// Supervise runs a coordinator incarnation repeatedly until it succeeds,
+// returns a permanent error, or exhausts the restart budget. Transient
+// crashes (by default anything except a checkpoint-hook abort) are retried
+// after a backoff; `celeste -supervise` builds its coordinator-failover loop
+// on this, classifying a child's signal death as transient and a clean
+// non-zero exit as permanent.
+func Supervise(run func(incarnation int) error, opts SuperviseOptions) error {
+	return core.Supervise(run, opts)
 }
 
 // RunWorker joins a TCP run as one worker process: it connects to the

@@ -1,0 +1,178 @@
+package celeste
+
+// Chaos end-to-end tests: full inference runs driven through the seeded
+// fault-injecting proxy (internal/net/chaos) sitting between the coordinator
+// and a real worker fleet. The property under test is the repo's system-level
+// invariant — every run through a hostile network either completes with a
+// catalog byte-identical to the fault-free reference, or fails loudly with a
+// diagnosed error. Silent divergence and silent hangs are the only forbidden
+// outcomes: per-frame CRCs turn bit flips into connection-fatal errors, the
+// rejoin budget turns severed links into re-enrollments, and the stranded
+// diagnostic turns a permanent partition into an explicit failure.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"celeste/internal/net/chaos"
+)
+
+// spawnChaosWorkers re-execs this test binary as n workers dialing addr (the
+// proxy) with a per-outage rejoin budget. Unlike the healthy-fleet helpers it
+// does not assert exit codes: a worker whose last connection was severed near
+// the end of the run may never see a shutdown frame and is reaped by Cleanup.
+func spawnChaosWorkers(t *testing.T, addr string, n, rejoin int) []*exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmds := make([]*exec.Cmd, 0, n)
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(),
+			workerAddrEnv+"="+addr,
+			workerRejoinEnv+"="+strconv.Itoa(rejoin))
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawning worker %d: %v", i, err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	t.Cleanup(func() {
+		for _, c := range cmds {
+			c.Process.Kill()
+			c.Wait()
+		}
+	})
+	return cmds
+}
+
+// runChaos serves one run through a chaos proxy with the given config and
+// returns the coordinator's result, the error, and the number of injected
+// faults. The coordinator listens on one loopback socket, the proxy on
+// another; workers only ever see the proxy.
+func runChaos(t *testing.T, workers, rejoin int, cfg chaos.Config,
+	transport *Transport) (*InferResult, error, int) {
+	t.Helper()
+	sv, init, icfg := distInputs()
+	icfg.Processes = workers
+
+	cl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	px := chaos.New(pl, cl.Addr().String(), cfg)
+	px.OnFault = func(serial, dir int, f chaos.Fault) {
+		t.Logf("chaos: conn %d dir %d: fault %v", serial, dir, f)
+	}
+	px.Start()
+	t.Cleanup(px.Close)
+
+	transport.Listener = cl
+	spawnChaosWorkers(t, px.Addr().String(), workers, rejoin)
+	res, err := InferWithOptions(sv, init, icfg, InferOptions{Transport: transport})
+	return res, err, px.Injected()
+}
+
+// TestChaosRunByteIdenticalOrLoud drives full runs through a bounded fault
+// budget (the chaotic start settles into a faithful network) with a worker
+// fleet holding an effectively unlimited rejoin budget. Under those terms the
+// run must complete, and the catalog must be byte-identical to the fault-free
+// reference — resets, corrupted frames, truncations, stalls and all.
+func TestChaosRunByteIdenticalOrLoud(t *testing.T) {
+	sv, init, icfg := distInputs()
+	if len(init) < 4 {
+		t.Skip("fixed-seed survey too sparse")
+	}
+	base, err := InferWithOptions(sv, init, icfg, InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, seed := range []uint64{1, 7} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			res, err, injected := runChaos(t, 2, 1<<16, chaos.Config{
+				Seed:           seed,
+				MeanFaultBytes: 4 << 10,
+				MaxFaults:      6,
+				Latency:        2 * time.Millisecond,
+				Jitter:         time.Millisecond,
+			}, &Transport{
+				DeadAfter:    3 * time.Second,
+				ConnectGrace: 60 * time.Second,
+				// A burst of faults can sever every link at once; the grace
+				// holds the run open for the fleet's re-enrollment instead
+				// of stranding on the transient total partition.
+				RejoinGrace: 15 * time.Second,
+			})
+			t.Logf("seed=%d: %d faults injected", seed, injected)
+			if err != nil {
+				t.Fatalf("bounded fault budget plus unlimited rejoin must complete, got: %v", err)
+			}
+			entriesIdentical(t, base.Catalog, res.Catalog, fmt.Sprintf("chaos seed=%d", seed))
+			if res.TasksProcessed != base.TasksProcessed {
+				t.Errorf("seed=%d: %d tasks processed, fault-free run did %d",
+					seed, res.TasksProcessed, base.TasksProcessed)
+			}
+		})
+	}
+}
+
+// TestChaosPartitionStrandsLoudly is the loud-failure half of the property:
+// the proxy admits each worker once, resets the links almost immediately, and
+// refuses every reconnection — a permanent partition. The workers burn their
+// small rejoin budget against the refusals and give up; the coordinator must
+// then fail with the stranded diagnostic instead of hanging or fabricating a
+// partial catalog.
+func TestChaosPartitionStrandsLoudly(t *testing.T) {
+	if _, init, _ := distInputs(); len(init) < 4 {
+		t.Skip("fixed-seed survey too sparse")
+	}
+	const workers = 2
+	type outcome struct {
+		res *InferResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err, _ := runChaos(t, workers, 3, chaos.Config{
+			Seed:           5,
+			MeanFaultBytes: 512,
+			ResetWeight:    1,
+			AcceptMax:      workers,
+		}, &Transport{
+			DeadAfter:    1500 * time.Millisecond,
+			ConnectGrace: 10 * time.Second,
+			// Small on purpose: nobody can re-enroll through the refusing
+			// proxy, so this exercises the grace-expiry stranding path —
+			// the wait is bounded, the failure still loud.
+			RejoinGrace: 2 * time.Second,
+		})
+		done <- outcome{res, err}
+	}()
+	select {
+	case o := <-done:
+		if o.err == nil {
+			t.Fatalf("partitioned run completed (%d tasks) — it must strand loudly",
+				o.res.TasksProcessed)
+		}
+		if !strings.Contains(o.err.Error(), "stranded") {
+			t.Fatalf("partitioned run failed without the stranded diagnostic: %v", o.err)
+		}
+		t.Logf("stranded as required: %v", o.err)
+	case <-time.After(90 * time.Second):
+		t.Fatal("partitioned run hung: no result within 90s — the stranded diagnostic never fired")
+	}
+}

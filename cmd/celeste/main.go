@@ -37,13 +37,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"net"
-	"net/http"
 	"os"
 	"os/exec"
 	"os/signal"
@@ -57,25 +57,32 @@ import (
 	"celeste/internal/geom"
 	"celeste/internal/imageio"
 	"celeste/internal/model"
+	"celeste/internal/net/chaos"
 	"celeste/internal/survey"
 )
 
 // flagConfig is the subset of flags whose combinations need validating, in a
 // plain struct so the matrix is table-testable.
 type flagConfig struct {
-	Serve      string        // -serve listen address
-	Worker     string        // -worker coordinator address
-	Spawn      int           // -spawn local worker count
-	SpawnSet   bool          // -spawn appeared on the command line
-	Checkpoint string        // -checkpoint path
-	Resume     bool          // -resume
-	Procs      int           // -procs
-	Threads    int           // -threads
-	Elastic    bool          // -elastic
-	ChurnKill  time.Duration // -churn-kill
-	ChurnAdd   time.Duration // -churn-add
-	Query      string        // -query listen address
-	Load       string        // -load catalog path
+	Serve        string        // -serve listen address
+	Worker       string        // -worker coordinator address
+	Spawn        int           // -spawn local worker count
+	SpawnSet     bool          // -spawn appeared on the command line
+	Checkpoint   string        // -checkpoint path
+	Resume       bool          // -resume
+	Procs        int           // -procs
+	Threads      int           // -threads
+	Elastic      bool          // -elastic
+	ChurnKill    time.Duration // -churn-kill
+	ChurnAdd     time.Duration // -churn-add
+	Query        string        // -query listen address
+	Load         string        // -load catalog path
+	Supervise    bool          // -supervise
+	ServeFD      int           // -serve-fd (internal; 0 when absent — fd 0 is never a listener)
+	Rejoin       int           // -rejoin
+	RejoinWindow time.Duration // -rejoin-window
+	ChaosSeed    uint64        // -chaos-seed
+	ChaosMean    int           // -chaos-mean
 }
 
 // validateFlags rejects contradictory or silently misbehaving flag
@@ -115,6 +122,30 @@ func validateFlags(fc flagConfig) error {
 		return errors.New("-load serves a finished catalog without running inference; it cannot combine with -worker, -serve, -spawn, -checkpoint, or -resume")
 	case fc.Query != "" && fc.Worker != "":
 		return errors.New("-query only applies to the coordinator or to -load: a worker process does not own catalog state")
+	case fc.Supervise && fc.Checkpoint == "":
+		return errors.New("-supervise requires -checkpoint: a restarted coordinator resumes from it")
+	case fc.Supervise && fc.Serve == "" && !fc.SpawnSet:
+		return errors.New("-supervise requires -serve or -spawn: only the TCP coordinator is supervised")
+	case fc.Supervise && fc.Worker != "":
+		return errors.New("-supervise applies to the coordinator, not -worker (workers re-enroll on their own via -rejoin)")
+	case fc.Supervise && fc.Query != "":
+		return errors.New("-supervise cannot host -query: the query service lives inside the coordinator child process")
+	case fc.Supervise && (fc.ChurnKill > 0 || fc.ChurnAdd > 0):
+		return errors.New("-supervise does not combine with churn flags: churn the workers of a plain -spawn run instead")
+	case fc.ServeFD > 0 && (fc.Serve != "" || fc.SpawnSet || fc.Supervise || fc.Worker != ""):
+		return errors.New("-serve-fd is internal to -supervise coordinator children and excludes -serve, -spawn, -supervise, and -worker")
+	case fc.Rejoin < 0:
+		return fmt.Errorf("-rejoin %d: the re-enrollment budget must be non-negative", fc.Rejoin)
+	case fc.RejoinWindow < 0:
+		return errors.New("-rejoin-window must be non-negative")
+	case (fc.Rejoin > 0 || fc.RejoinWindow > 0) && fc.Worker == "" && !(fc.Supervise && fc.SpawnSet):
+		return errors.New("-rejoin and -rejoin-window configure a -worker process (or the workers of a supervised -spawn)")
+	case fc.ChaosSeed != 0 && !fc.SpawnSet:
+		return errors.New("-chaos-seed requires -spawn: the chaos proxy interposes on locally spawned worker links")
+	case fc.ChaosSeed != 0 && fc.Supervise:
+		return errors.New("-chaos-seed does not combine with -supervise (the differential test harness covers chaos plus failover)")
+	case fc.ChaosMean < 0:
+		return errors.New("-chaos-mean must be non-negative")
 	}
 	return nil
 }
@@ -139,6 +170,14 @@ func main() {
 	churnAdd := flag.Duration("churn-add", 0, "with -spawn: start one extra elastic worker after this delay")
 	queryAddr := flag.String("query", "", "serve catalog queries over HTTP on this address, live during the fit and from the final catalog after it")
 	loadPath := flag.String("load", "", "with -query: serve this finished catalog file instead of running inference")
+	supervise := flag.Bool("supervise", false, "with -serve/-spawn and -checkpoint: fork the coordinator as a child and restart it from the checkpoint if it dies to a signal")
+	maxRestarts := flag.Int("max-restarts", 5, "with -supervise: coordinator restarts before giving up")
+	serveFD := flag.Int("serve-fd", 0, "internal: coordinator child inherits its listening socket on this file descriptor (set by -supervise; 0: unset)")
+	rejoin := flag.Int("rejoin", 0, "with -worker: re-dial budget per outage when the coordinator connection drops (0: fail on first loss unless -elastic)")
+	rejoinWindow := flag.Duration("rejoin-window", 0, "with -worker: give up re-enrolling after this long in one outage (0: no deadline)")
+	chaosSeed := flag.Uint64("chaos-seed", 0, "with -spawn: interpose a deterministic fault-injecting proxy on worker links, seeded here (0: off)")
+	chaosMean := flag.Int("chaos-mean", 4096, "with -chaos-seed: mean bytes between injected faults per connection direction")
+	chaosBudget := flag.Int("chaos-budget", 16, "with -chaos-seed: total faults across the run before the proxy goes quiet (<0: unlimited)")
 	flag.Parse()
 
 	fc := flagConfig{
@@ -146,6 +185,9 @@ func main() {
 		Checkpoint: *ckPath, Resume: *resume, Procs: *procs, Threads: *threads,
 		Elastic: *elastic, ChurnKill: *churnKill, ChurnAdd: *churnAdd,
 		Query: *queryAddr, Load: *loadPath,
+		Supervise: *supervise, ServeFD: *serveFD,
+		Rejoin: *rejoin, RejoinWindow: *rejoinWindow,
+		ChaosSeed: *chaosSeed, ChaosMean: *chaosMean,
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "spawn" {
@@ -175,6 +217,24 @@ func main() {
 		return
 	}
 
+	if *supervise {
+		// The supervisor owns only the listening socket and the worker pool;
+		// the coordinator proper runs in restartable children.
+		err := runSupervised(supConfig{
+			ListenAddr: *serveAddr, Spawn: *spawn, SpawnSet: fc.SpawnSet,
+			Procs: *procs, Sky: *sky, Out: *out,
+			Threads: *threads, PatchThreads: *patchThreads,
+			Rounds: *rounds, MaxIter: *maxIter, Seed: *seed,
+			Checkpoint: *ckPath, CkEvery: *ckEvery,
+			MaxRestarts: *maxRestarts,
+			Rejoin:      *rejoin, RejoinWindow: *rejoinWindow,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	images, truth, err := imageio.ReadSurveyDir(*sky)
 	if err != nil {
 		log.Fatal(err)
@@ -199,6 +259,10 @@ func main() {
 			wopts.Elastic = true
 			wopts.Rejoin = 3
 		}
+		if *rejoin > 0 {
+			wopts.Rejoin = *rejoin
+		}
+		wopts.RejoinWindow = *rejoinWindow
 		if err := celeste.RunWorker(*workerAddr, sv, init, wopts); err != nil {
 			log.Fatalf("worker: %v", err)
 		}
@@ -242,20 +306,63 @@ func main() {
 	}
 
 	var spawned []*exec.Cmd
-	if *serveAddr != "" || fc.SpawnSet {
-		listenAddr := *serveAddr
-		if fc.SpawnSet {
-			listenAddr = "127.0.0.1:0"
-			*procs = *spawn
-		}
-		l, err := net.Listen("tcp", listenAddr)
-		if err != nil {
-			log.Fatal(err)
+	if *serveAddr != "" || fc.SpawnSet || *serveFD > 0 {
+		var l net.Listener
+		if *serveFD > 0 {
+			// Supervised child: the parent owns the socket and passes it down,
+			// so a restarted incarnation serves the same address and pending
+			// worker dials queue in the backlog across the crash.
+			f := os.NewFile(uintptr(*serveFD), "supervised-listener")
+			l, err = net.FileListener(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("inheriting listener from fd %d: %v", *serveFD, err)
+			}
+		} else {
+			listenAddr := *serveAddr
+			if fc.SpawnSet {
+				listenAddr = "127.0.0.1:0"
+				*procs = *spawn
+			}
+			if l, err = net.Listen("tcp", listenAddr); err != nil {
+				log.Fatal(err)
+			}
 		}
 		opts.Transport = &celeste.Transport{Listener: l}
+		if *serveFD > 0 {
+			// A supervised deployment's workers carry rejoin budgets: if a
+			// fault severs every link at once, hold the run open for their
+			// re-enrollment instead of stranding on the transient partition.
+			opts.Transport.RejoinGrace = 30 * time.Second
+		}
 		fmt.Printf("serving on %s, expecting %d workers\n", l.Addr(), *procs)
 		if fc.SpawnSet {
-			spawned, err = spawnWorkers(l.Addr().String(), *spawn, *sky, *threads, *patchThreads, false)
+			dial := l.Addr().String()
+			var workerExtra []string
+			if *chaosSeed != 0 {
+				pl, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					log.Fatal(err)
+				}
+				px := chaos.New(pl, dial, chaos.Config{
+					Seed: *chaosSeed, MeanFaultBytes: int64(*chaosMean), MaxFaults: *chaosBudget,
+				})
+				px.Start()
+				defer func() {
+					px.Close()
+					fmt.Printf("chaos: %d faults injected\n", px.Injected())
+				}()
+				dial = px.Addr().String()
+				// Faulted links sever mid-run; give the workers the budget to
+				// re-enroll instead of dying on the first reset, and hold the
+				// run open when a fault burst severs every link at once so the
+				// fleet's re-enrollment rescues it instead of stranding.
+				workerExtra = []string{"-rejoin", "64"}
+				opts.Transport.RejoinGrace = 30 * time.Second
+				fmt.Printf("chaos: faulting worker links (seed %d, mean gap %d bytes, budget %d)\n",
+					*chaosSeed, *chaosMean, *chaosBudget)
+			}
+			spawned, err = spawnWorkers(dial, *spawn, *sky, *threads, *patchThreads, false, workerExtra...)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -333,16 +440,138 @@ func main() {
 	}
 }
 
-// serveCatalog starts the HTTP query layer over a catalog store, returning
-// the bound address and a closer.
+// serveCatalog starts the hardened HTTP query layer over a catalog store,
+// returning the bound address and a closer. The closer drains in-flight
+// queries gracefully (bounded by a short deadline) before closing, so a
+// Ctrl-C during a response never truncates it mid-body.
 func serveCatalog(store *celeste.CatalogStore, addr string) (stop func(), bound string, err error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", err
 	}
-	srv := &http.Server{Handler: celeste.NewCatalogServer(store).Handler()}
+	srv := celeste.NewCatalogServer(store).HTTPServer()
 	go srv.Serve(l)
-	return func() { srv.Close() }, l.Addr().String(), nil
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+	}, l.Addr().String(), nil
+}
+
+// supConfig carries the flag values the supervised-coordinator parent needs.
+type supConfig struct {
+	ListenAddr      string // -serve address ("" with -spawn)
+	Spawn           int
+	SpawnSet        bool
+	Procs           int
+	Sky, Out        string
+	Threads         int
+	PatchThreads    int
+	Rounds, MaxIter int
+	Seed            uint64
+	Checkpoint      string
+	CkEvery         int
+	MaxRestarts     int
+	Rejoin          int
+	RejoinWindow    time.Duration
+}
+
+// runSupervised is the coordinator-failover loop. The parent owns the
+// listening socket and forks the actual coordinator as a child inheriting it
+// on fd 3, so the address survives a crash: worker dials issued while no
+// child is alive queue in the socket backlog. A child that dies to a signal
+// (SIGKILL, OOM, panic-by-signal) is restarted with -resume against the
+// checkpoint; a clean non-zero exit is a configuration error that would only
+// repeat, so it is permanent. Workers are forked once, with a rejoin budget,
+// and re-enroll with each new incarnation on their own — the run-hash
+// handshake proves every incarnation is fitting the same run.
+func runSupervised(sc supConfig) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	listenAddr := sc.ListenAddr
+	procs := sc.Procs
+	if sc.SpawnSet {
+		listenAddr = "127.0.0.1:0"
+		procs = sc.Spawn
+	}
+	l, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	lf, err := l.(*net.TCPListener).File()
+	if err != nil {
+		return err
+	}
+	defer lf.Close()
+
+	childArgs := []string{
+		"-serve-fd", "3",
+		"-sky", sc.Sky, "-out", sc.Out,
+		"-threads", strconv.Itoa(sc.Threads),
+		"-patch-threads", strconv.Itoa(sc.PatchThreads),
+		"-procs", strconv.Itoa(procs),
+		"-rounds", strconv.Itoa(sc.Rounds),
+		"-maxiter", strconv.Itoa(sc.MaxIter),
+		"-seed", strconv.FormatUint(sc.Seed, 10),
+		"-checkpoint", sc.Checkpoint,
+		"-checkpoint-every", strconv.Itoa(sc.CkEvery),
+		"-resume",
+	}
+
+	var spawned []*exec.Cmd
+	if sc.SpawnSet {
+		rejoinBudget := sc.Rejoin
+		if rejoinBudget == 0 {
+			rejoinBudget = 1 << 10
+		}
+		window := sc.RejoinWindow
+		if window == 0 {
+			window = 2 * time.Minute
+		}
+		spawned, err = spawnWorkers(l.Addr().String(), sc.Spawn, sc.Sky, sc.Threads, sc.PatchThreads, false,
+			"-rejoin", strconv.Itoa(rejoinBudget), "-rejoin-window", window.String())
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("supervising coordinator on %s (up to %d restarts)\n", l.Addr(), sc.MaxRestarts)
+
+	err = celeste.Supervise(func(int) error {
+		cmd := exec.Command(exe, childArgs...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.ExtraFiles = []*os.File{lf}
+		if err := cmd.Start(); err != nil {
+			return err
+		}
+		return cmd.Wait()
+	}, celeste.SuperviseOptions{
+		MaxRestarts: sc.MaxRestarts,
+		Permanent: func(err error) bool {
+			// Only a signal death (ExitCode -1) is worth a restart; a clean
+			// non-zero exit already printed its reason and would only repeat.
+			var ee *exec.ExitError
+			return !(errors.As(err, &ee) && ee.ExitCode() == -1)
+		},
+		OnRestart: func(r int, err error) {
+			fmt.Printf("supervise: coordinator died (%v); restart %d resumes from %s\n",
+				err, r, sc.Checkpoint)
+		},
+	})
+	for _, cmd := range spawned {
+		if err != nil {
+			cmd.Process.Kill()
+		}
+		if werr := cmd.Wait(); werr != nil && err == nil {
+			fmt.Fprintf(os.Stderr, "worker %d: %v\n", cmd.Process.Pid, werr)
+		}
+	}
+	return err
 }
 
 // waitForSignal blocks until SIGINT or SIGTERM.
@@ -421,7 +650,8 @@ func reapJoiner(timer *time.Timer, joiner <-chan *exec.Cmd) {
 }
 
 // spawnWorkers forks n copies of this binary in -worker mode against addr.
-func spawnWorkers(addr string, n int, sky string, threads, patchThreads int, elastic bool) ([]*exec.Cmd, error) {
+// Any extra arguments are appended to each worker's command line.
+func spawnWorkers(addr string, n int, sky string, threads, patchThreads int, elastic bool, extra ...string) ([]*exec.Cmd, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return nil, err
@@ -436,6 +666,7 @@ func spawnWorkers(addr string, n int, sky string, threads, patchThreads int, ela
 		if elastic {
 			args = append(args, "-elastic")
 		}
+		args = append(args, extra...)
 		cmd := exec.Command(exe, args...)
 		cmd.Stdout = os.Stdout
 		cmd.Stderr = os.Stderr

@@ -33,6 +33,12 @@ func TestValidateFlags(t *testing.T) {
 		{"fit with query", flagConfig{Query: ":8080", Procs: 4, Threads: 8}, ""},
 		{"spawn with query", flagConfig{Spawn: 2, SpawnSet: true, Query: ":8080", Procs: 4, Threads: 8}, ""},
 		{"query a catalog file", flagConfig{Query: ":8080", Load: "catalog.jsonl", Procs: 4, Threads: 8}, ""},
+		{"supervised spawn", flagConfig{Supervise: true, Spawn: 2, SpawnSet: true, Checkpoint: "run.celk", Procs: 4, Threads: 8}, ""},
+		{"supervised serve", flagConfig{Supervise: true, Serve: ":7021", Checkpoint: "run.celk", Procs: 4, Threads: 8}, ""},
+		{"supervised spawn with rejoin knobs", flagConfig{Supervise: true, Spawn: 2, SpawnSet: true, Checkpoint: "run.celk", Rejoin: 64, RejoinWindow: time.Minute, Procs: 4, Threads: 8}, ""},
+		{"coordinator child", flagConfig{ServeFD: 3, Checkpoint: "run.celk", Resume: true, Procs: 4, Threads: 8}, ""},
+		{"worker with rejoin", flagConfig{Worker: "host:7021", Rejoin: 8, RejoinWindow: time.Minute, Procs: 4, Threads: 8}, ""},
+		{"chaos spawn", flagConfig{Spawn: 2, SpawnSet: true, ChaosSeed: 7, ChaosMean: 4096, Procs: 4, Threads: 8}, ""},
 
 		{"spawn zero", flagConfig{Spawn: 0, SpawnSet: true, Procs: 4, Threads: 8}, "-spawn"},
 		{"spawn negative", flagConfig{Spawn: -3, SpawnSet: true, Procs: 4, Threads: 8}, "-spawn"},
@@ -56,6 +62,20 @@ func TestValidateFlags(t *testing.T) {
 		{"load with checkpoint", flagConfig{Query: ":8080", Load: "c.jsonl", Checkpoint: "run.celk", Procs: 4, Threads: 8}, "-load"},
 		{"load with resume", flagConfig{Query: ":8080", Load: "c.jsonl", Checkpoint: "run.celk", Resume: true, Procs: 4, Threads: 8}, "-load"},
 		{"query on a worker", flagConfig{Query: ":8080", Worker: "a:1", Procs: 4, Threads: 8}, "-query"},
+		{"supervise without checkpoint", flagConfig{Supervise: true, Spawn: 2, SpawnSet: true, Procs: 4, Threads: 8}, "-supervise requires -checkpoint"},
+		{"supervise without serve or spawn", flagConfig{Supervise: true, Checkpoint: "run.celk", Procs: 4, Threads: 8}, "-supervise requires -serve or -spawn"},
+		{"supervise on a worker", flagConfig{Supervise: true, Worker: "a:1", Checkpoint: "run.celk", Procs: 4, Threads: 8}, "coordinator owns checkpointing"},
+		{"supervise with query", flagConfig{Supervise: true, Spawn: 2, SpawnSet: true, Checkpoint: "run.celk", Query: ":8080", Procs: 4, Threads: 8}, "-supervise cannot host -query"},
+		{"supervise with churn", flagConfig{Supervise: true, Spawn: 2, SpawnSet: true, Checkpoint: "run.celk", ChurnKill: 1, Procs: 4, Threads: 8}, "churn"},
+		{"serve-fd with serve", flagConfig{ServeFD: 3, Serve: ":7021", Procs: 4, Threads: 8}, "-serve-fd is internal"},
+		{"serve-fd with supervise", flagConfig{ServeFD: 3, Supervise: true, Spawn: 2, SpawnSet: true, Checkpoint: "run.celk", Procs: 4, Threads: 8}, "-serve-fd is internal"},
+		{"negative rejoin", flagConfig{Worker: "a:1", Rejoin: -1, Procs: 4, Threads: 8}, "-rejoin"},
+		{"negative rejoin window", flagConfig{Worker: "a:1", RejoinWindow: -1, Procs: 4, Threads: 8}, "-rejoin-window"},
+		{"rejoin without worker", flagConfig{Rejoin: 3, Procs: 4, Threads: 8}, "-rejoin"},
+		{"rejoin window on plain spawn", flagConfig{Spawn: 2, SpawnSet: true, RejoinWindow: time.Minute, Procs: 4, Threads: 8}, "-rejoin"},
+		{"chaos without spawn", flagConfig{ChaosSeed: 7, Procs: 4, Threads: 8}, "-chaos-seed requires -spawn"},
+		{"chaos with supervise", flagConfig{ChaosSeed: 7, Supervise: true, Spawn: 2, SpawnSet: true, Checkpoint: "run.celk", Procs: 4, Threads: 8}, "-chaos-seed does not combine"},
+		{"negative chaos mean", flagConfig{Spawn: 2, SpawnSet: true, ChaosSeed: 7, ChaosMean: -1, Procs: 4, Threads: 8}, "-chaos-mean"},
 	}
 	for _, tc := range cases {
 		err := validateFlags(tc.fc)

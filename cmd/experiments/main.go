@@ -16,6 +16,8 @@
 package main
 
 import (
+	"bytes"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -27,6 +29,7 @@ import (
 	"celeste/internal/elbo"
 	"celeste/internal/flops"
 	"celeste/internal/geom"
+	"celeste/internal/imageio"
 	"celeste/internal/model"
 	"celeste/internal/psf"
 	"celeste/internal/rng"
@@ -61,6 +64,8 @@ func main() {
 		peak()
 	case "newton":
 		newton(*seed)
+	case "failover":
+		failover(*seed)
 	case "all":
 		table1()
 		fig4(*seed)
@@ -69,6 +74,7 @@ func main() {
 		peak()
 		perthread(*seed)
 		newton(*seed)
+		failover(*seed)
 		table2(*seed, *scale)
 	default:
 		usage()
@@ -76,7 +82,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: experiments <table1|table2|fig4|fig5|perthread|pernode|peak|newton|all> [-seed N] [-scale X]")
+	fmt.Fprintln(os.Stderr, "usage: experiments <table1|table2|fig4|fig5|perthread|pernode|peak|newton|failover|all> [-seed N] [-scale X]")
 	os.Exit(2)
 }
 
@@ -242,6 +248,137 @@ func peak() {
 	}
 	fl := flops.Total(r.Visits)
 	fmt.Printf("total: %.2e FLOPs over %.0f s\n\n", fl, r.Makespan)
+}
+
+// failover measures recovery cost as a function of checkpoint cadence: a
+// run checkpointing every k tasks is crashed at a fixed task count (the
+// coordinator dying mid-interval, so everything since the last durable
+// checkpoint is lost), then resumed from that checkpoint and timed to
+// completion. The re-executed tasks are the cadence's real price; the
+// recovery-to-frontier column isolates it by subtracting the work a
+// crash-free run would still have owed, using the baseline's per-task rate.
+func failover(seed uint64) {
+	fmt.Println("== Coordinator failover: recovery time vs checkpoint interval ==")
+	cfg := celeste.DefaultSurveyConfig(seed)
+	cfg.Region = celeste.SkyBox{MaxRA: 0.03, MaxDec: 0.03}
+	cfg.DeepRegion = celeste.SkyBox{}
+	cfg.DeepRuns = 0
+	cfg.Runs = 1
+	cfg.FieldW, cfg.FieldH = 128, 128
+	cfg.SourceDensity = 30000
+	sv := celeste.GenerateSurvey(cfg)
+	init := sv.NoisyCatalog(seed + 1)
+	icfg := celeste.InferConfig{TargetWork: 2e4, Rounds: 1, MaxIter: 8, Seed: 9}
+
+	t0 := time.Now()
+	base, err := celeste.InferWithOptions(sv, init, icfg, celeste.InferOptions{})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "failover:", err)
+		os.Exit(1)
+	}
+	full := time.Since(t0)
+	n := base.TasksProcessed
+	avg := full / time.Duration(n)
+	// Crash inside stage 0, where the expensive joint fits live (commits are
+	// stage-ordered, so the first stage0 commits are all stage-0 tasks) —
+	// dying in the cheap boundary stage would make every cadence look free.
+	stage0 := 0
+	for _, tk := range base.Tasks {
+		if tk.Stage == 0 {
+			stage0++
+		}
+	}
+	crash := 6 * stage0 / 10
+	if crash%2 == 0 {
+		// Die mid-interval at every cadence below: a boundary-aligned crash
+		// would show zero loss for every interval dividing it.
+		crash++
+	}
+	if crash > n {
+		crash = 1
+	}
+	fmt.Printf("baseline: %d tasks in %v (%v/task); coordinator dies at task %d\n",
+		n, full.Round(time.Millisecond), avg.Round(time.Microsecond), crash)
+
+	// One crashed run captures the durable checkpoint every cadence below
+	// would have on disk at the crash (the latest commit multiple of k), so
+	// every cadence resumes from identical bytes.
+	ks := []int{1, 2, 4, 8, 16}
+	keep := map[int]*bytes.Buffer{}
+	for _, k := range ks {
+		if k <= crash {
+			keep[crash/k*k] = &bytes.Buffer{}
+		}
+	}
+	done := 0
+	_, err = celeste.InferWithOptions(sv, init, icfg, celeste.InferOptions{
+		CheckpointEvery: 1,
+		OnCheckpoint: func(ck *celeste.Checkpoint) error {
+			done++
+			if buf, ok := keep[done]; ok {
+				if werr := imageio.WriteCheckpoint(buf, ck); werr != nil {
+					return werr
+				}
+			}
+			if done >= crash {
+				return errors.New("injected coordinator crash")
+			}
+			return nil
+		},
+	})
+	if !errors.Is(err, celeste.ErrRunAborted) {
+		fmt.Fprintf(os.Stderr, "failover: crashed run: got %v, want abort\n", err)
+		os.Exit(1)
+	}
+
+	// Resume each cadence's checkpoint to completion, repeated; the minimum
+	// wall is the least-noise estimate on a shared-tenancy machine. The
+	// interval-1 cadence loses nothing (its checkpoint is the crash commit
+	// itself), so its wall is the measured crash-free remainder and the
+	// recovery column — wall minus that reference — isolates what the
+	// coarser cadences pay in re-executed work.
+	const reps = 5
+	resume := func(k int) time.Duration {
+		ck, err := imageio.ReadCheckpoint(bytes.NewReader(keep[crash/k*k].Bytes()))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "failover: interval %d: reloading checkpoint: %v\n", k, err)
+			os.Exit(1)
+		}
+		best := time.Duration(0)
+		for r := 0; r < reps; r++ {
+			t1 := time.Now()
+			res, err := celeste.InferWithOptions(sv, init, icfg, celeste.InferOptions{Resume: ck})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "failover: interval %d: resume: %v\n", k, err)
+				os.Exit(1)
+			}
+			w := time.Since(t1)
+			if res.TasksProcessed != n {
+				fmt.Fprintf(os.Stderr, "failover: interval %d: resumed run reports %d tasks, want %d\n",
+					k, res.TasksProcessed, n)
+				os.Exit(1)
+			}
+			if r == 0 || w < best {
+				best = w
+			}
+		}
+		return best
+	}
+
+	ref := resume(1)
+	fmt.Printf("%-10s %12s %12s %14s %20s\n",
+		"interval", "ckpts kept", "re-executed", "resume wall", "recovery cost")
+	fmt.Printf("%-10d %12d %12d %14v %20s\n", 1, crash, 0, ref.Round(time.Millisecond), "(reference)")
+	for _, k := range ks[1:] {
+		if k > crash {
+			break
+		}
+		wall := resume(k)
+		fmt.Printf("%-10d %12d %12d %14v %20v\n",
+			k, crash/k, crash-crash/k*k, wall.Round(time.Millisecond),
+			(wall - ref).Round(time.Millisecond))
+	}
+	fmt.Println()
 }
 
 func newton(seed uint64) {

@@ -34,11 +34,16 @@ const (
 	workerLeaveEnv   = "CELESTE_TEST_LEAVE_AFTER"
 	workerStartEnv   = "CELESTE_TEST_START_FILE"
 	workerTouchEnv   = "CELESTE_TEST_TOUCH_FILE"
+	workerRejoinEnv  = "CELESTE_TEST_REJOIN"
 )
 
 func TestMain(m *testing.M) {
 	if addr := os.Getenv(workerAddrEnv); addr != "" {
 		runTestWorker(addr)
+		return
+	}
+	if os.Getenv(coordFDEnv) != "" {
+		runTestCoordinator()
 		return
 	}
 	os.Exit(m.Run())
@@ -107,6 +112,23 @@ func runTestWorker(addr string) {
 		// The churn tests start this worker mid-run: it joins past the
 		// connect grace with a fresh rank and steals its way into the pool.
 		opts.Elastic = true
+	}
+	if rs := os.Getenv(workerRejoinEnv); rs != "" {
+		// The failover and chaos tests need workers that outlive coordinator
+		// incarnations and severed links: a per-outage re-dial budget on a
+		// fast deterministic backoff, bounded by a give-up window so a test
+		// gone wrong cannot leave immortal orphans.
+		n, err := strconv.Atoi(rs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "worker: bad rejoin spec:", err)
+			os.Exit(2)
+		}
+		opts.Rejoin = n
+		opts.RejoinBackoff = Backoff{
+			Base: 20 * time.Millisecond, Max: 250 * time.Millisecond,
+			Seed: uint64(os.Getpid()),
+		}
+		opts.RejoinWindow = 2 * time.Minute
 	}
 	if ls := os.Getenv(workerLeaveEnv); ls != "" {
 		k, err := strconv.Atoi(ls)

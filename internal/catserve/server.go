@@ -8,6 +8,7 @@ import (
 	"net/url"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"celeste/internal/geom"
 	"celeste/internal/model"
@@ -63,6 +64,23 @@ type statsResponse struct {
 // snapshots served.
 func (s *Server) CacheStats() (hits, misses int64) {
 	return s.hits.Load(), s.misses.Load()
+}
+
+// HTTPServer returns an http.Server over Handler hardened for exposure
+// beyond a trusted loopback: slow-loris header dribbling is cut off by
+// ReadHeaderTimeout, stalled response readers by WriteTimeout, idle
+// keep-alive connections by IdleTimeout, and oversized headers by
+// MaxHeaderBytes. Callers own the listener and shutdown; Shutdown on the
+// returned server drains in-flight queries gracefully.
+func (s *Server) HTTPServer() *http.Server {
+	return &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 16,
+	}
 }
 
 // Handler returns the HTTP face of the server.
@@ -198,7 +216,13 @@ func finiteParam(q url.Values, name string) (float64, error) {
 	return v, nil
 }
 
-// limitParam parses the optional limit parameter (0 = unlimited).
+// MaxQueryLimit caps the limit= parameter (and the n= of /brightest): a
+// request asking for more is clamped, not rejected, so clients probing "give
+// me everything" semantics with a huge limit still get a bounded response.
+const MaxQueryLimit = 10000
+
+// limitParam parses the optional limit parameter (0 = unlimited), clamped to
+// MaxQueryLimit.
 func limitParam(q url.Values) (int, error) {
 	raw := q.Get("limit")
 	if raw == "" {
@@ -207,6 +231,9 @@ func limitParam(q url.Values) (int, error) {
 	n, err := strconv.Atoi(raw)
 	if err != nil || n < 0 {
 		return 0, fmt.Errorf("parameter \"limit\" must be a non-negative integer, got %q", raw)
+	}
+	if n > MaxQueryLimit {
+		n = MaxQueryLimit
 	}
 	return n, nil
 }
@@ -253,6 +280,9 @@ func brightestParams(q url.Values) (n, band int, err error) {
 	}
 	if n, err = strconv.Atoi(raw); err != nil || n <= 0 {
 		return 0, 0, fmt.Errorf("parameter \"n\" must be a positive integer, got %q", raw)
+	}
+	if n > MaxQueryLimit {
+		n = MaxQueryLimit
 	}
 	band = model.RefBand
 	if raw := q.Get("band"); raw != "" {

@@ -1,11 +1,16 @@
 package catserve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"testing"
+	"time"
 
 	"celeste/internal/geom"
 	"celeste/internal/model"
@@ -113,22 +118,22 @@ func TestHTTPErrors(t *testing.T) {
 		target string
 		status int
 	}{
-		{"/cone?ra=0.5&dec=0.5", http.StatusBadRequest},             // missing r
-		{"/cone?ra=0.5&dec=0.5&r=-1", http.StatusBadRequest},        // negative radius
-		{"/cone?ra=NaN&dec=0.5&r=0.1", http.StatusBadRequest},       // non-finite
-		{"/cone?ra=+Inf&dec=0.5&r=0.1", http.StatusBadRequest},      // non-finite
-		{"/cone?ra=x&dec=0.5&r=0.1", http.StatusBadRequest},         // unparseable float
+		{"/cone?ra=0.5&dec=0.5", http.StatusBadRequest},        // missing r
+		{"/cone?ra=0.5&dec=0.5&r=-1", http.StatusBadRequest},   // negative radius
+		{"/cone?ra=NaN&dec=0.5&r=0.1", http.StatusBadRequest},  // non-finite
+		{"/cone?ra=+Inf&dec=0.5&r=0.1", http.StatusBadRequest}, // non-finite
+		{"/cone?ra=x&dec=0.5&r=0.1", http.StatusBadRequest},    // unparseable float
 		{"/cone?ra=0.5&dec=0.5&r=0.1&limit=-2", http.StatusBadRequest},
 		{"/cone?ra=0.5&dec=0.5&r=0.1&limit=x", http.StatusBadRequest},
-		{"/box?ramin=0&decmin=0&ramax=1", http.StatusBadRequest},    // missing decmax
+		{"/box?ramin=0&decmin=0&ramax=1", http.StatusBadRequest}, // missing decmax
 		{"/box?ramin=0&decmin=o&ramax=1&decmax=1", http.StatusBadRequest},
-		{"/brightest", http.StatusBadRequest},                       // missing n
-		{"/brightest?n=0", http.StatusBadRequest},                   // non-positive n
+		{"/brightest", http.StatusBadRequest},     // missing n
+		{"/brightest?n=0", http.StatusBadRequest}, // non-positive n
 		{"/brightest?n=-3", http.StatusBadRequest},
-		{"/brightest?n=2&band=9", http.StatusBadRequest},            // band out of range
+		{"/brightest?n=2&band=9", http.StatusBadRequest}, // band out of range
 		{"/brightest?n=2&band=-1", http.StatusBadRequest},
 		{"/brightest?n=2&band=x", http.StatusBadRequest},
-		{"/cone?ra=%zz", http.StatusBadRequest},                     // unparseable query string
+		{"/cone?ra=%zz", http.StatusBadRequest}, // unparseable query string
 		{"/nope", http.StatusNotFound},
 		{"/", http.StatusNotFound},
 	}
@@ -241,5 +246,94 @@ func TestStatsEndpoint(t *testing.T) {
 	getJSON(t, h, "/stats", http.StatusOK, &again)
 	if hits, _ := srv.CacheStats(); hits != 1 {
 		t.Fatalf("stats response was cached (hits=%d)", hits)
+	}
+}
+
+// TestLimitClamped: absurd limit= and n= values are clamped to MaxQueryLimit
+// rather than rejected, and still answer 200.
+func TestLimitClamped(t *testing.T) {
+	if n, err := limitParam(url.Values{"limit": {"999999999"}}); err != nil || n != MaxQueryLimit {
+		t.Errorf("limitParam(999999999) = %d, %v; want clamp to %d", n, err, MaxQueryLimit)
+	}
+	if n, err := limitParam(url.Values{"limit": {"7"}}); err != nil || n != 7 {
+		t.Errorf("limitParam(7) = %d, %v; small limits must pass through", n, err)
+	}
+	if n, _, err := brightestParams(url.Values{"n": {"999999999"}}); err != nil || n != MaxQueryLimit {
+		t.Errorf("brightestParams(n=999999999) = %d, %v; want clamp to %d", n, err, MaxQueryLimit)
+	}
+	srv, entries := testServer(t, 50, Options{})
+	var resp queryResponse
+	getJSON(t, srv.Handler(), "/cone?ra=0.5&dec=0.5&r=10&limit=999999999", http.StatusOK, &resp)
+	if resp.Count != len(entries) {
+		t.Errorf("clamped cone count=%d, want all %d entries", resp.Count, len(entries))
+	}
+}
+
+// TestHTTPServerHardened: the served http.Server carries every hardening
+// knob, and the header timeout genuinely drops a dribbling client.
+func TestHTTPServerHardened(t *testing.T) {
+	srv, _ := testServer(t, 10, Options{})
+	hs := srv.HTTPServer()
+	if hs.ReadHeaderTimeout <= 0 || hs.ReadTimeout <= 0 || hs.WriteTimeout <= 0 ||
+		hs.IdleTimeout <= 0 || hs.MaxHeaderBytes <= 0 {
+		t.Fatalf("hardening knob unset: %+v", hs)
+	}
+
+	// Shrink the header timeout so the slow-loris check runs fast; the
+	// default value is already pinned above.
+	hs.ReadHeaderTimeout = 100 * time.Millisecond
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go hs.Serve(l)
+	defer hs.Close()
+
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := io.WriteString(c, "GET /stats HTTP/1.1\r\nHost: x\r\nX-Dribble"); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(c); err != nil {
+		t.Fatalf("server held a stalled-header connection open: %v", err)
+	}
+}
+
+// TestHTTPServerGracefulShutdown: Shutdown drains cleanly and later
+// connections are refused — the contract cmd/celeste -query relies on.
+func TestHTTPServerGracefulShutdown(t *testing.T) {
+	srv, _ := testServer(t, 10, Options{})
+	hs := srv.HTTPServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(l) }()
+
+	resp, err := http.Get("http://" + l.Addr().String() + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-shutdown query status %d", resp.StatusCode)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if err := <-done; err != http.ErrServerClosed {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+	if _, err := http.Get("http://" + l.Addr().String() + "/stats"); err == nil {
+		t.Fatal("query succeeded after shutdown")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"celeste/internal/dtree"
 	"celeste/internal/model"
@@ -31,12 +32,13 @@ func (cfg Config) serveTCP(tasks []partition.Task, stages [][]int, st *runState,
 		return errors.New("core: Transport requires a Listener")
 	}
 	b := &serveBackend{
-		procs:    cfg.Processes,
-		st:       st,
-		stages:   stages,
-		done:     make(chan struct{}),
-		s:        st.stage,
-		leftRank: make(map[int]bool),
+		procs:       cfg.Processes,
+		st:          st,
+		stages:      stages,
+		done:        make(chan struct{}),
+		s:           st.stage,
+		leftRank:    make(map[int]bool),
+		rejoinGrace: tr.RejoinGrace,
 	}
 	for _, d := range st.done {
 		if !d {
@@ -68,6 +70,12 @@ func (cfg Config) serveTCP(tasks []partition.Task, stages [][]int, st *runState,
 	})
 
 	b.mu.Lock()
+	if b.graceTimer != nil {
+		// The run ended some other way (completed, aborted, listener error)
+		// with a grace window pending; don't let it fire into a dead run.
+		b.graceTimer.Stop()
+		b.graceTimer = nil
+	}
 	dead := 0
 	for r, d := range st.deadRank {
 		// Graceful leavers are retired ranks, not failures.
@@ -134,6 +142,12 @@ type serveBackend struct {
 	stolen    int64        // folded from retired stage schedulers
 	leftRank  map[int]bool // ranks that departed gracefully (not failures)
 	stranded  error
+
+	// rejoinGrace is Transport.RejoinGrace: how long an all-dead run waits
+	// for an elastic re-enrollment before stranding. graceTimer is the
+	// pending expiry check for the current all-dead episode, nil otherwise.
+	rejoinGrace time.Duration
+	graceTimer  *time.Timer
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -305,8 +319,44 @@ func (b *serveBackend) retire(rank int, graceful bool) {
 	}
 	fin := false
 	if dead == b.procs && b.totalLeft > 0 && b.stranded == nil {
-		b.stranded = fmt.Errorf("core: %d tasks stranded in stage %d: every worker of %d is dead",
-			b.totalLeft, b.s, b.procs)
+		if b.rejoinGrace > 0 {
+			// Every rank is dead but the listener is still open: hold the
+			// run for one bounded window so a worker with rejoin budget can
+			// re-enroll and rescue it. A Join during the window grows procs,
+			// making the expiry check a no-op; nobody returning is a
+			// permanent partition and strands below.
+			if b.graceTimer == nil {
+				b.graceTimer = time.AfterFunc(b.rejoinGrace, b.strandIfStillDead)
+			}
+		} else {
+			b.stranded = fmt.Errorf("core: %d tasks stranded in stage %d: every worker of %d is dead",
+				b.totalLeft, b.s, b.procs)
+			fin = true
+		}
+	}
+	b.mu.Unlock()
+	if fin {
+		b.finish()
+	}
+}
+
+// strandIfStillDead is the rejoin-grace expiry: if the run is still all-dead
+// with tasks outstanding, it strands now. A rescue (elastic Join) in the
+// meantime grew procs past the dead count, and a later total-death episode
+// arms a fresh timer.
+func (b *serveBackend) strandIfStillDead() {
+	b.mu.Lock()
+	b.graceTimer = nil
+	dead := 0
+	for _, d := range b.st.deadRank {
+		if d {
+			dead++
+		}
+	}
+	fin := false
+	if dead == b.procs && b.totalLeft > 0 && b.stranded == nil {
+		b.stranded = fmt.Errorf("core: %d tasks stranded in stage %d: every worker of %d is dead and none re-enrolled within %v",
+			b.totalLeft, b.s, b.procs, b.rejoinGrace)
 		fin = true
 	}
 	b.mu.Unlock()

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSuperviseRestartsUntilSuccess: crashes are retried with backoff until
+// the run completes, and the incarnation number advances each time.
+func TestSuperviseRestartsUntilSuccess(t *testing.T) {
+	var incarnations []int
+	var slept []time.Duration
+	var restarts []int
+	err := Supervise(func(inc int) error {
+		incarnations = append(incarnations, inc)
+		if inc < 3 {
+			return fmt.Errorf("crash %d", inc)
+		}
+		return nil
+	}, SuperviseOptions{
+		MaxRestarts: 10,
+		Backoff:     Backoff{Base: time.Millisecond, Jitter: -1},
+		OnRestart:   func(r int, err error) { restarts = append(restarts, r) },
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 3}; len(incarnations) != 4 || incarnations[3] != 3 {
+		t.Errorf("incarnations %v, want %v", incarnations, want)
+	}
+	if len(slept) != 3 {
+		t.Errorf("slept %d times, want 3", len(slept))
+	}
+	if len(restarts) != 3 || restarts[0] != 1 || restarts[2] != 3 {
+		t.Errorf("OnRestart calls %v, want [1 2 3]", restarts)
+	}
+}
+
+// TestSuperviseGivesUpAfterMaxRestarts: the budget bounds the loop and the
+// final error wraps the last crash.
+func TestSuperviseGivesUpAfterMaxRestarts(t *testing.T) {
+	boom := errors.New("boom")
+	runs := 0
+	err := Supervise(func(int) error { runs++; return boom }, SuperviseOptions{
+		MaxRestarts: 2,
+		Sleep:       func(time.Duration) {},
+	})
+	if runs != 3 { // initial run + 2 restarts
+		t.Errorf("ran %d times, want 3", runs)
+	}
+	if !errors.Is(err, boom) {
+		t.Errorf("error %v does not wrap the last crash", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "after 2 restarts") {
+		t.Errorf("error %v does not name the exhausted budget", err)
+	}
+}
+
+// TestSupervisePermanentErrorStopsImmediately: an aborted run (its own
+// checkpoint hook said stop) must not be restarted, and the error passes
+// through unwrapped.
+func TestSupervisePermanentErrorStopsImmediately(t *testing.T) {
+	runs := 0
+	aborted := fmt.Errorf("hook: %w", ErrAborted)
+	err := Supervise(func(int) error { runs++; return aborted }, SuperviseOptions{
+		MaxRestarts: 10,
+		Sleep:       func(time.Duration) { t.Error("slept before a permanent error") },
+	})
+	if runs != 1 {
+		t.Errorf("a permanent error was retried %d times", runs-1)
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Errorf("got %v, want the abort error through unchanged", err)
+	}
+}
+
+// TestSuperviseCustomPermanent: the classifier is pluggable — the cmd/celeste
+// supervisor treats a clean non-zero exit as permanent and only restarts
+// signal deaths.
+func TestSuperviseCustomPermanent(t *testing.T) {
+	fatal := errors.New("exit status 1")
+	runs := 0
+	err := Supervise(func(int) error { runs++; return fatal }, SuperviseOptions{
+		MaxRestarts: 10,
+		Permanent:   func(err error) bool { return errors.Is(err, fatal) },
+		Sleep:       func(time.Duration) {},
+	})
+	if runs != 1 || !errors.Is(err, fatal) {
+		t.Errorf("runs=%d err=%v, want one run returning the fatal error", runs, err)
+	}
+}
+
+// TestSuperviseNegativeMaxRestartsNeverRestarts: a negative budget means the
+// first crash is final.
+func TestSuperviseNegativeMaxRestartsNeverRestarts(t *testing.T) {
+	runs := 0
+	err := Supervise(func(int) error { runs++; return errors.New("crash") }, SuperviseOptions{
+		MaxRestarts: -1,
+		Sleep:       func(time.Duration) {},
+	})
+	if runs != 1 || err == nil {
+		t.Errorf("runs=%d err=%v, want exactly one attempt", runs, err)
+	}
+}

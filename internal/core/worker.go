@@ -48,11 +48,27 @@ type WorkerOptions struct {
 	Elastic bool
 
 	// Rejoin, when positive, turns connection and heartbeat failures into
-	// elastic re-dials (up to that many) instead of hard exits: the old rank
-	// was declared dead and its work requeued, so the process comes back as a
-	// fresh rank and steals its way back in. Aborted runs and input
-	// mismatches never rejoin — retrying a refused handshake cannot succeed.
+	// elastic re-dials (up to that many per outage) instead of hard exits:
+	// the old rank was declared dead and its work requeued, so the process
+	// comes back as a fresh rank and steals its way back in. The budget
+	// resets whenever a rejoin gets far enough to complete the run-hash
+	// handshake, so a long-lived worker rides out any number of separate
+	// outages. Aborted runs and input mismatches never rejoin — retrying a
+	// refused handshake cannot succeed.
 	Rejoin int
+
+	// RejoinBackoff spaces the rejoin attempts of one outage (zero value:
+	// 100ms base doubling to a 5s cap, ±20% deterministic jitter). Without
+	// it a coordinator restart would be hammered by immediate re-dials from
+	// the whole fleet at once.
+	RejoinBackoff Backoff
+
+	// RejoinWindow, when positive, is the give-up deadline for one outage:
+	// if reconnection attempts have not completed a handshake for this long,
+	// the worker stops retrying and returns the last error even with Rejoin
+	// budget remaining. It bounds how long a fleet outlives a coordinator
+	// that is never coming back.
+	RejoinWindow time.Duration
 
 	// LeaveAfter, when positive, makes the worker announce a graceful
 	// departure after completing that many tasks: the coordinator requeues
@@ -88,7 +104,10 @@ func RunWorker(addr string, sv *survey.Survey, catalog []model.CatalogEntry, opt
 	prepared := false
 	elastic := opts.Elastic
 	completed := 0
-	for attempt := 0; ; attempt++ {
+	attempt := 0
+	var outageStart time.Time // zero while connected; set at first failure
+	for {
+		handshook := false
 		err := func() error {
 			cl, err := cnet.Dial(addr, cnet.DialOptions{
 				Timeout: opts.DialTimeout, Poll: opts.Poll, Elastic: elastic,
@@ -133,6 +152,7 @@ func RunWorker(addr string, sv *survey.Survey, catalog []model.CatalogEntry, opt
 			if err := cl.Ready(hash, opts.HeartbeatEvery); err != nil {
 				return err
 			}
+			handshook = true
 
 			for {
 				if opts.LeaveAfter > 0 && completed >= opts.LeaveAfter {
@@ -177,11 +197,28 @@ func RunWorker(addr string, sv *survey.Survey, catalog []model.CatalogEntry, opt
 		if errors.Is(err, cnet.ErrAborted) || errors.As(err, &setup) {
 			return err // deterministic refusals: rejoining cannot help
 		}
+		if handshook {
+			// The connection got far enough to verify the run hash: this is
+			// a fresh outage, not a continuation of the previous one. Reset
+			// the per-outage retry budget and give-up clock.
+			attempt = 0
+			outageStart = time.Time{}
+		}
 		if attempt >= opts.Rejoin {
 			return err
 		}
+		if outageStart.IsZero() {
+			outageStart = time.Now()
+		} else if opts.RejoinWindow > 0 && time.Since(outageStart) > opts.RejoinWindow {
+			return fmt.Errorf("core: giving up after %v of failed rejoins (window %v): %w",
+				time.Since(outageStart).Round(time.Millisecond), opts.RejoinWindow, err)
+		}
 		// Our rank is (or will shortly be) declared dead and its work
-		// requeued; come back as a fresh elastic rank and steal back in.
+		// requeued; back off — jittered, so a restarted coordinator is not
+		// stampeded by the whole fleet at once — then come back as a fresh
+		// elastic rank and steal back in.
+		time.Sleep(opts.RejoinBackoff.Delay(attempt))
+		attempt++
 		elastic = true
 	}
 }

@@ -166,7 +166,8 @@ type Scheduler struct {
 
 	inflight []map[int]bool // per-rank tasks handed out but not Done
 	dead     []bool         // ranks removed by Fail
-	rootHeir int            // rank holding the dynamic pool (0 until the root dies)
+	rootHeir int            // rank holding the dynamic pool (0 until the root dies); -1 while every rank is dead
+	orphans  pool           // tasks parked by the last rank's Fail, inherited by the next Join
 
 	// Stats.
 	requests  []int64 // per-rank requests sent up the chain
@@ -349,11 +350,19 @@ func (s *Scheduler) Fail(rank int) int {
 	}
 	n := len(s.inflight[rank]) + s.pools[rank].size()
 	if heir < 0 {
-		// Every rank is dead: the tasks are dropped, not requeued — callers
-		// detect the stranding by the work never completing.
+		// Every rank is dead: park the tasks in the orphan pool, where they
+		// are unreachable until a new rank joins. The all-dead run either
+		// strands (the caller decides how long to wait) or an elastic
+		// joiner inherits the pool and finishes the work — dropping the
+		// tasks here would turn that rescue into a silent hang.
+		for t := range s.inflight[rank] {
+			s.orphans.ranges = append(s.orphans.ranges, taskRange{t, t + 1})
+		}
 		s.inflight[rank] = make(map[int]bool)
+		s.orphans.add(s.pools[rank])
 		s.pools[rank] = pool{}
-		return 0
+		s.requeued += int64(n)
+		return n
 	}
 	for t := range s.inflight[rank] {
 		s.pools[heir].ranges = append(s.pools[heir].ranges, taskRange{t, t + 1})
@@ -442,6 +451,15 @@ func (s *Scheduler) Join() int {
 		if p := Parent(r, s.cfg.Fanout); p >= 0 {
 			s.subSize[p] += s.subSize[r]
 		}
+	}
+	if s.rootHeir < 0 {
+		// The joiner is the first live rank after a total death: it stands
+		// in for the root and inherits whatever the last casualties parked.
+		s.rootHeir = rank
+	}
+	if s.orphans.size() > 0 {
+		s.pools[rank].add(s.orphans)
+		s.orphans = pool{}
 	}
 	return rank
 }

@@ -568,3 +568,51 @@ func TestFaultPlanQueries(t *testing.T) {
 		t.Error("nil plan not inert")
 	}
 }
+
+// TestTotalDeathParksOrphansForJoiner: when the last live rank fails, its
+// in-flight tasks and pool are parked, not dropped, and the next elastic
+// joiner inherits them — the scheduling half of the coordinator's rejoin
+// grace, where a run whose whole fleet was transiently partitioned is rescued
+// by the first worker to re-enroll.
+func TestTotalDeathParksOrphansForJoiner(t *testing.T) {
+	const total = 12
+	s := New(Config{}, 2, total)
+	// Pull one task per rank so both die with work in flight.
+	t0, ok := s.Next(0)
+	if !ok {
+		t.Fatal("rank 0 got no task")
+	}
+	if _, ok := s.Next(1); !ok {
+		t.Fatal("rank 1 got no task")
+	}
+	s.Done(0, t0)
+	if n := s.Fail(0); n == 0 {
+		t.Fatal("rank 0 died holding a pool but nothing requeued")
+	}
+	if n := s.Fail(1); n == 0 {
+		t.Fatal("the last rank's death dropped its tasks instead of parking them")
+	}
+
+	// Everyone is dead: the orphaned work is unreachable but not lost.
+	joiner := s.Join()
+	seen := make(map[int]bool)
+	for {
+		task, ok := s.Steal(joiner)
+		if !ok {
+			if task, ok = s.Next(joiner); !ok {
+				break
+			}
+		}
+		if seen[task] {
+			t.Fatalf("task %d handed out twice", task)
+		}
+		seen[task] = true
+		s.Done(joiner, task)
+	}
+	if len(seen) != total-1 {
+		t.Fatalf("joiner finished %d tasks, want %d (all but the one confirmed Done)", len(seen), total-1)
+	}
+	if seen[t0] {
+		t.Fatalf("confirmed task %d was requeued", t0)
+	}
+}

@@ -1,0 +1,392 @@
+// Package chaos is a deterministic network-fault middlebox for the Celeste
+// TCP runtime: a TCP proxy inserted between coordinator and workers that
+// injects connection resets, timed partitions (black-holed connections),
+// added latency and jitter, truncated frames, and bit-flipped frames on a
+// reproducible schedule.
+//
+// Determinism is the point. Every fault is drawn from the repo's own seeded
+// generator, keyed by (Seed, connection serial, direction), and triggered at
+// byte offsets of the forwarded stream — so the fault schedule of a
+// connection is a pure function of the proxy configuration (ScheduleFor),
+// independent of wall-clock timing. The same seed replays the same faults
+// against the same traffic, which is what lets a property harness drive full
+// inference runs through the proxy and assert the system-level invariant:
+// every outcome is either a catalog byte-identical to the fault-free run or
+// a loud, diagnosed failure. Silent divergence is the only forbidden result,
+// and the wire protocol's per-frame CRC plus the run-hash handshake are what
+// turn the injected corruption into connection-fatal errors instead.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"celeste/internal/rng"
+)
+
+// FaultKind enumerates the injectable faults.
+type FaultKind int
+
+const (
+	// FaultReset closes both halves of the connection abruptly (RST where
+	// the platform allows it): the mid-run death of a link.
+	FaultReset FaultKind = iota
+	// FaultBlackhole stalls the direction for Config.BlackholeFor before
+	// forwarding resumes: a timed partition. Long enough, it trips the
+	// coordinator's heartbeat deadline and the rank is declared dead.
+	FaultBlackhole
+	// FaultTruncate forwards a prefix of the pending chunk, then closes the
+	// connection: a frame cut off mid-flight.
+	FaultTruncate
+	// FaultCorrupt flips one bit of the pending chunk and forwards it: the
+	// receiver's frame CRC must catch it.
+	FaultCorrupt
+	faultKindEnd
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultReset:
+		return "reset"
+	case FaultBlackhole:
+		return "blackhole"
+	case FaultTruncate:
+		return "truncate"
+	case FaultCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is one scheduled injection: after Offset forwarded bytes in one
+// direction of one connection, Kind fires.
+type Fault struct {
+	Offset int64
+	Kind   FaultKind
+}
+
+// Config tunes the proxy. The zero value forwards faithfully (no faults, no
+// latency); Seed only matters once a fault source is enabled.
+type Config struct {
+	// Seed keys every schedule. Same seed, same config, same traffic →
+	// same faults.
+	Seed uint64
+
+	// MeanFaultBytes is the mean forwarded-byte gap between faults in one
+	// direction of one connection (0 disables byte-triggered faults). The
+	// actual gaps are drawn uniformly from [1, 2·MeanFaultBytes].
+	MeanFaultBytes int64
+
+	// ResetWeight, BlackholeWeight, TruncateWeight, and CorruptWeight set
+	// the relative odds of each fault kind. All zero defaults to uniform.
+	ResetWeight, BlackholeWeight, TruncateWeight, CorruptWeight int
+
+	// BlackholeFor is the duration of one FaultBlackhole stall
+	// (default 500ms).
+	BlackholeFor time.Duration
+
+	// Latency is added to every forwarded chunk; Jitter adds a uniform
+	// [0, Jitter) on top, drawn deterministically per chunk.
+	Latency, Jitter time.Duration
+
+	// MaxFaultsPerConn bounds the schedule length per connection direction
+	// (default 16).
+	MaxFaultsPerConn int
+
+	// MaxFaults bounds byte-triggered faults across the whole proxy
+	// lifetime (0: unlimited). With a bound, a chaotic start settles into a
+	// faithful network, so a run with enough retry budget must complete.
+	MaxFaults int
+
+	// AcceptMax, when positive, refuses every connection after that many
+	// accepts — a permanent partition for late (re)connectors. The
+	// stranded-run tests use it to prove a run with no surviving path fails
+	// loudly rather than hanging.
+	AcceptMax int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlackholeFor == 0 {
+		c.BlackholeFor = 500 * time.Millisecond
+	}
+	if c.MaxFaultsPerConn == 0 {
+		c.MaxFaultsPerConn = 16
+	}
+	if c.ResetWeight == 0 && c.BlackholeWeight == 0 && c.TruncateWeight == 0 && c.CorruptWeight == 0 {
+		c.ResetWeight, c.BlackholeWeight, c.TruncateWeight, c.CorruptWeight = 1, 1, 1, 1
+	}
+	return c
+}
+
+// Directions of one proxied connection.
+const (
+	DirUp   = 0 // worker → coordinator
+	DirDown = 1 // coordinator → worker
+)
+
+// ScheduleFor returns the fault schedule of one connection direction as a
+// pure function of (cfg, serial, dir): offsets strictly increase, kinds are
+// weight-drawn, and the same arguments always yield the same schedule. The
+// proxy consults exactly this function, so a unit test of ScheduleFor is a
+// test of the faults the proxy will inject.
+func ScheduleFor(cfg Config, serial int, dir int) []Fault {
+	cfg = cfg.withDefaults()
+	if cfg.MeanFaultBytes <= 0 {
+		return nil
+	}
+	r := rng.New(cfg.Seed ^ scheduleKey(serial, dir))
+	weights := []float64{
+		float64(cfg.ResetWeight), float64(cfg.BlackholeWeight),
+		float64(cfg.TruncateWeight), float64(cfg.CorruptWeight),
+	}
+	var out []Fault
+	offset := int64(0)
+	for len(out) < cfg.MaxFaultsPerConn {
+		gap := 1 + int64(r.Float64()*float64(2*cfg.MeanFaultBytes))
+		offset += gap
+		kind := FaultKind(r.Categorical(weights))
+		out = append(out, Fault{Offset: offset, Kind: kind})
+		if kind == FaultReset || kind == FaultTruncate {
+			// The connection does not survive these; later entries would
+			// never fire.
+			break
+		}
+	}
+	return out
+}
+
+// scheduleKey mixes a connection serial and direction into the seed space.
+func scheduleKey(serial, dir int) uint64 {
+	return 0x9e3779b97f4a7c15*uint64(serial+1) + 0xbf58476d1ce4e5b9*uint64(dir+1)
+}
+
+// Proxy is a fault-injecting TCP middlebox. Workers dial the proxy's
+// listener; each accepted connection is paired with a dial to the real
+// coordinator and forwarded in both directions through the fault schedule.
+type Proxy struct {
+	l      net.Listener
+	target string
+	cfg    Config
+
+	faultsLeft atomic.Int64 // remaining global fault budget; negative: unlimited
+	accepted   atomic.Int64
+	injected   atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+
+	// OnFault, when set before Start, observes each injected fault (for
+	// test logging). Called from forwarding goroutines.
+	OnFault func(serial, dir int, f Fault)
+}
+
+// New wraps an existing listener (so the caller picks the address) in a
+// proxy forwarding to target. Call Start to begin accepting.
+func New(l net.Listener, target string, cfg Config) *Proxy {
+	p := &Proxy{l: l, target: target, cfg: cfg.withDefaults(), conns: make(map[net.Conn]struct{})}
+	if cfg.MaxFaults > 0 {
+		p.faultsLeft.Store(int64(cfg.MaxFaults))
+	} else {
+		p.faultsLeft.Store(-1)
+	}
+	return p
+}
+
+// Addr is the address workers should dial.
+func (p *Proxy) Addr() net.Addr { return p.l.Addr() }
+
+// Injected reports how many faults have fired so far.
+func (p *Proxy) Injected() int { return int(p.injected.Load()) }
+
+// Start runs the accept loop in the background. Close stops it.
+func (p *Proxy) Start() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		serial := 0
+		for {
+			c, err := p.l.Accept()
+			if err != nil {
+				return
+			}
+			n := p.accepted.Add(1)
+			if p.cfg.AcceptMax > 0 && n > int64(p.cfg.AcceptMax) {
+				// Permanent partition: late connectors are refused outright.
+				c.Close()
+				continue
+			}
+			p.wg.Add(1)
+			go func(c net.Conn, serial int) {
+				defer p.wg.Done()
+				p.serve(c, serial)
+			}(c, serial)
+			serial++
+		}
+	}()
+}
+
+// Close stops accepting, severs every live connection, and waits for the
+// forwarders to finish.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	p.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+}
+
+// track registers a live connection for Close; reports false if the proxy is
+// already closed.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// serve forwards one worker connection through the fault schedule.
+func (p *Proxy) serve(down net.Conn, serial int) {
+	defer down.Close()
+	up, err := net.Dial("tcp", p.target)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	if !p.track(down) || !p.track(up) {
+		return
+	}
+	defer p.untrack(down)
+	defer p.untrack(up)
+
+	kill := func() {
+		// Abrupt teardown: RST rather than FIN where possible, so the peer
+		// sees a death, not a clean EOF.
+		for _, c := range []net.Conn{down, up} {
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			c.Close()
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		p.forward(up, down, serial, DirUp, kill)
+	}()
+	go func() {
+		defer wg.Done()
+		p.forward(down, up, serial, DirDown, kill)
+	}()
+	wg.Wait()
+}
+
+// forward copies src→dst, consuming the direction's fault schedule at the
+// scheduled byte offsets.
+func (p *Proxy) forward(dst, src net.Conn, serial, dir int, kill func()) {
+	schedule := ScheduleFor(p.cfg, serial, dir)
+	latency := rng.New(p.cfg.Seed ^ scheduleKey(serial, dir) ^ 0xa5a5a5a5)
+	buf := make([]byte, 32<<10)
+	offset := int64(0)
+	next := 0
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			chunk := buf[:n]
+			if p.cfg.Latency > 0 || p.cfg.Jitter > 0 {
+				d := p.cfg.Latency
+				if p.cfg.Jitter > 0 {
+					d += time.Duration(latency.Float64() * float64(p.cfg.Jitter))
+				}
+				time.Sleep(d)
+			}
+			for next < len(schedule) && offset+int64(len(chunk)) > schedule[next].Offset {
+				f := schedule[next]
+				next++
+				if !p.spendFault() {
+					continue
+				}
+				p.injected.Add(1)
+				if p.OnFault != nil {
+					p.OnFault(serial, dir, f)
+				}
+				switch f.Kind {
+				case FaultReset:
+					kill()
+					return
+				case FaultBlackhole:
+					// A timed partition: nothing moves in this direction
+					// (and, by backpressure, soon the other) until it lifts.
+					time.Sleep(p.cfg.BlackholeFor)
+				case FaultTruncate:
+					cut := int(f.Offset - offset)
+					if cut < 0 {
+						cut = 0
+					}
+					if cut > len(chunk) {
+						cut = len(chunk)
+					}
+					dst.Write(chunk[:cut])
+					kill()
+					return
+				case FaultCorrupt:
+					pos := int(f.Offset - offset)
+					if pos >= 0 && pos < len(chunk) {
+						chunk[pos] ^= 1 << uint(f.Offset%8)
+					}
+				}
+			}
+			offset += int64(len(chunk))
+			if _, werr := dst.Write(chunk); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			// EOF or a severed link: half-close so the peer drains, then let
+			// the other direction finish.
+			if tc, ok := dst.(*net.TCPConn); ok {
+				tc.CloseWrite()
+			}
+			return
+		}
+	}
+}
+
+// spendFault consumes one unit of the global fault budget; false means the
+// budget is exhausted and the fault must not fire.
+func (p *Proxy) spendFault() bool {
+	for {
+		left := p.faultsLeft.Load()
+		if left < 0 {
+			return true // unlimited
+		}
+		if left == 0 {
+			return false
+		}
+		if p.faultsLeft.CompareAndSwap(left, left-1) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	cnet "celeste/internal/net"
+)
+
+// TestScheduleDeterministic is the determinism property the whole package
+// exists for: the fault schedule is a pure function of (config, serial,
+// direction). Same seed, same schedule — different seed or serial or
+// direction, different schedule.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, MeanFaultBytes: 4096}
+	for serial := 0; serial < 8; serial++ {
+		for dir := DirUp; dir <= DirDown; dir++ {
+			a := ScheduleFor(cfg, serial, dir)
+			b := ScheduleFor(cfg, serial, dir)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("serial %d dir %d: schedule not reproducible:\n%v\n%v", serial, dir, a, b)
+			}
+			if len(a) == 0 {
+				t.Fatalf("serial %d dir %d: empty schedule with faults enabled", serial, dir)
+			}
+		}
+	}
+	if reflect.DeepEqual(ScheduleFor(cfg, 0, DirUp), ScheduleFor(Config{Seed: 43, MeanFaultBytes: 4096}, 0, DirUp)) {
+		t.Error("different seeds produced an identical schedule")
+	}
+	if reflect.DeepEqual(ScheduleFor(cfg, 0, DirUp), ScheduleFor(cfg, 1, DirUp)) {
+		t.Error("different serials produced an identical schedule")
+	}
+	if reflect.DeepEqual(ScheduleFor(cfg, 0, DirUp), ScheduleFor(cfg, 0, DirDown)) {
+		t.Error("the two directions produced an identical schedule")
+	}
+}
+
+// TestScheduleShape: offsets strictly increase, kinds respect the weights
+// (a reset-only config schedules only resets), and a connection-ending fault
+// terminates the schedule.
+func TestScheduleShape(t *testing.T) {
+	cfg := Config{Seed: 7, MeanFaultBytes: 1024, ResetWeight: 1}
+	s := ScheduleFor(cfg, 3, DirUp)
+	if len(s) != 1 || s[0].Kind != FaultReset {
+		t.Fatalf("reset-only config scheduled %v", s)
+	}
+	cfg = Config{Seed: 7, MeanFaultBytes: 1024, BlackholeWeight: 1, CorruptWeight: 1, MaxFaultsPerConn: 32}
+	s = ScheduleFor(cfg, 3, DirUp)
+	if len(s) != 32 {
+		t.Fatalf("survivable-fault config scheduled %d faults, want the 32 cap", len(s))
+	}
+	last := int64(0)
+	for _, f := range s {
+		if f.Offset <= last {
+			t.Fatalf("offsets not strictly increasing: %v", s)
+		}
+		last = f.Offset
+		if f.Kind != FaultBlackhole && f.Kind != FaultCorrupt {
+			t.Fatalf("unexpected kind %v with reset/truncate weight 0", f.Kind)
+		}
+	}
+	if got := ScheduleFor(Config{Seed: 7}, 0, DirUp); got != nil {
+		t.Fatalf("faults disabled but schedule %v", got)
+	}
+}
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) (addr string, closeFn func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(c net.Conn) {
+				defer wg.Done()
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return l.Addr().String(), func() { l.Close(); wg.Wait() }
+}
+
+// startProxy wires a proxy in front of target and returns it.
+func startProxy(t *testing.T, target string, cfg Config) *Proxy {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(l, target, cfg)
+	p.Start()
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestProxyFaithfulWithoutFaults: the zero config forwards bytes intact in
+// both directions.
+func TestProxyFaithfulWithoutFaults(t *testing.T) {
+	addr, closeFn := echoServer(t)
+	defer closeFn()
+	p := startProxy(t, addr, Config{})
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := bytes.Repeat([]byte("celeste"), 4096)
+	go func() {
+		c.Write(msg)
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+	got, err := io.ReadAll(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echoed %d bytes, want %d intact", len(got), len(msg))
+	}
+	if p.Injected() != 0 {
+		t.Fatalf("%d faults fired with faults disabled", p.Injected())
+	}
+}
+
+// TestProxyCorruptionCaughtByFrameCRC: a bit flip injected into a Celeste
+// wire frame must surface as the decoder's checksum error — corruption is
+// loud, never silent.
+func TestProxyCorruptionCaughtByFrameCRC(t *testing.T) {
+	addr, closeFn := echoServer(t)
+	defer closeFn()
+	// Corrupt the very first bytes of the up direction: offset gaps are
+	// drawn from [1, 2], so every early byte region is covered.
+	p := startProxy(t, addr, Config{
+		Seed: 9, MeanFaultBytes: 1, CorruptWeight: 1, MaxFaultsPerConn: 4,
+	})
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var frame bytes.Buffer
+	if err := cnet.WriteMessage(&frame, &cnet.Message{Type: cnet.MsgReady, Hash: 0xfeedface}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(frame.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := cnet.ReadMessage(c); err == nil {
+		t.Fatal("bit-flipped frame decoded cleanly")
+	}
+	if p.Injected() == 0 {
+		t.Fatal("no fault fired")
+	}
+}
+
+// TestProxyResetSeversConnection: a scheduled reset kills the link — the
+// client sees an error or EOF, never a hang.
+func TestProxyResetSeversConnection(t *testing.T) {
+	addr, closeFn := echoServer(t)
+	defer closeFn()
+	p := startProxy(t, addr, Config{Seed: 3, MeanFaultBytes: 8, ResetWeight: 1})
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(5 * time.Second))
+	// Keep writing until the reset lands; then reads must fail fast.
+	for i := 0; i < 64; i++ {
+		if _, err := c.Write(make([]byte, 64)); err != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	buf := make([]byte, 1)
+	for {
+		if _, err := c.Read(buf); err != nil {
+			break // error or EOF: the connection died, loudly
+		}
+	}
+	if p.Injected() == 0 {
+		t.Fatal("no fault fired")
+	}
+}
+
+// TestProxyAcceptMaxRefusesLateConnections: past the accept budget, new
+// connections are cut immediately — the permanent-partition knob.
+func TestProxyAcceptMaxRefusesLateConnections(t *testing.T) {
+	addr, closeFn := echoServer(t)
+	defer closeFn()
+	p := startProxy(t, addr, Config{AcceptMax: 1})
+	ok, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ok.Close()
+	if _, err := ok.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	ok.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadFull(ok, buf); err != nil {
+		t.Fatalf("first connection should pass: %v", err)
+	}
+	late, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		return // refused at dial: also a loud failure
+	}
+	defer late.Close()
+	late.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := late.Read(buf); err == nil {
+		t.Fatal("late connection was served past AcceptMax")
+	}
+}
+
+// TestProxyGlobalFaultBudget: with MaxFaults set, the proxy goes quiet after
+// the budget is spent and traffic flows cleanly again.
+func TestProxyGlobalFaultBudget(t *testing.T) {
+	addr, closeFn := echoServer(t)
+	defer closeFn()
+	p := startProxy(t, addr, Config{
+		Seed: 11, MeanFaultBytes: 4, CorruptWeight: 1, MaxFaults: 2, MaxFaultsPerConn: 64,
+	})
+	c, err := net.Dial("tcp", p.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(10 * time.Second))
+	// Push plenty of bytes through; only 2 corruptions may fire despite a
+	// schedule full of them.
+	recv := make(chan struct{})
+	go func() {
+		defer close(recv)
+		io.CopyN(io.Discard, c, 16<<10)
+	}()
+	for i := 0; i < 16; i++ {
+		if _, err := c.Write(make([]byte, 1024)); err != nil {
+			t.Errorf("write %d: %v", i, err)
+			return
+		}
+	}
+	<-recv
+	if got := p.Injected(); got != 2 {
+		t.Fatalf("%d faults fired, want exactly the MaxFaults budget of 2", got)
+	}
+}

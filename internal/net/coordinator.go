@@ -315,11 +315,19 @@ func (s *coordinator) handle(c net.Conn) {
 // shutdown and an error for every death-like exit.
 func (s *coordinator) serveRank(c net.Conn, fw *frameWriter, rank int) error {
 	width := int(s.cfg.Width)
+	// Every response write gets its own fresh deadline. Reusing the read
+	// deadline is wrong in both directions: backend work between read and
+	// write (a commit waiting out a checkpoint capture, a snapshot build) can
+	// burn through it and spuriously kill a healthy worker, while a worker
+	// that stops draining its socket mid-response must still die within
+	// DeadAfter rather than wedging this handler on a full send buffer.
+	send := func(m *Message) error {
+		c.SetWriteDeadline(time.Now().Add(s.opts.DeadAfter))
+		return fw.send(m)
+	}
+	sendErr := func(text string) { _ = send(&Message{Type: MsgError, Text: text}) }
 	for {
-		// One deadline covers the read and any response write: a worker
-		// that stops draining its socket mid-response dies like one that
-		// stops sending heartbeats.
-		c.SetDeadline(time.Now().Add(s.opts.DeadAfter))
+		c.SetReadDeadline(time.Now().Add(s.opts.DeadAfter))
 		m, err := ReadMessage(c)
 		if err != nil {
 			return err
@@ -346,7 +354,7 @@ func (s *coordinator) serveRank(c net.Conn, fw *frameWriter, rank int) error {
 			case NextAbort:
 				resp = Message{Type: MsgShutdown, Reason: ShutdownAborted}
 			}
-			if err := fw.send(&resp); err != nil {
+			if err := send(&resp); err != nil {
 				return err
 			}
 			if status == NextShutdown || status == NextAbort {
@@ -356,7 +364,7 @@ func (s *coordinator) serveRank(c net.Conn, fw *frameWriter, rank int) error {
 			// Graceful departure: requeue the rank's work without counting a
 			// failure, confirm with a shutdown, and end the session cleanly.
 			s.b.Leave(rank)
-			if err := fw.send(&Message{Type: MsgShutdown, Reason: ShutdownComplete}); err != nil {
+			if err := send(&Message{Type: MsgShutdown, Reason: ShutdownComplete}); err != nil {
 				return err
 			}
 			return nil
@@ -368,42 +376,42 @@ func (s *coordinator) serveRank(c net.Conn, fw *frameWriter, rank int) error {
 			if len(m.Indices)*width > maxFramePayload/8 {
 				err := fmt.Errorf("net: get batch of %d elements at width %d exceeds one frame",
 					len(m.Indices), width)
-				sendError(fw, err.Error())
+				sendErr(err.Error())
 				return err
 			}
 			out := make([]float64, len(m.Indices)*width)
 			if err := s.b.Get(rank, m.Indices, out); err != nil {
-				sendError(fw, err.Error())
+				sendErr(err.Error())
 				return err
 			}
-			if err := fw.send(&Message{Type: MsgParams, Values: out}); err != nil {
+			if err := send(&Message{Type: MsgParams, Values: out}); err != nil {
 				return err
 			}
 		case MsgPut:
 			if len(m.Values) != len(m.Indices)*width {
 				err := fmt.Errorf("net: put carries %d values for %d elements of width %d",
 					len(m.Values), len(m.Indices), width)
-				sendError(fw, err.Error())
+				sendErr(err.Error())
 				return err
 			}
 			if err := s.b.Put(rank, m.Indices, m.Values); err != nil {
-				sendError(fw, err.Error())
+				sendErr(err.Error())
 				return err
 			}
 		case MsgSnapshotReq:
 			snap, err := s.b.Snapshot(m.Which)
 			if err != nil {
-				sendError(fw, err.Error())
+				sendErr(err.Error())
 				return err
 			}
-			if err := fw.send(&Message{Type: MsgSnapshot, Which: m.Which, Snap: snap}); err != nil {
+			if err := send(&Message{Type: MsgSnapshot, Which: m.Which, Snap: snap}); err != nil {
 				return err
 			}
 		case MsgError:
 			return errors.New("net: worker reported: " + m.Text)
 		default:
 			err := fmt.Errorf("net: unexpected message type %d from rank %d", m.Type, rank)
-			sendError(fw, err.Error())
+			sendErr(err.Error())
 			return err
 		}
 	}
@@ -422,4 +430,13 @@ type Transport struct {
 	// DeadAfter and ConnectGrace tune failure detection (see ServeOptions).
 	DeadAfter    time.Duration
 	ConnectGrace time.Duration
+	// RejoinGrace, when positive, holds a run open for that long after its
+	// last rank dies with tasks outstanding, instead of declaring the work
+	// stranded immediately: a transient total partition (every link reset at
+	// once) is survivable when workers carry a rejoin budget, because the
+	// listener stays open and the first elastic re-enrollment rescues the
+	// run. If the window expires with every rank still dead, the run fails
+	// with the stranded diagnostic as before — bounded, never a hang. Zero
+	// strands immediately.
+	RejoinGrace time.Duration
 }

@@ -31,9 +31,13 @@ func FuzzReadMessage(f *testing.F) {
 	f.Add([]byte("FITS\x01\x05\x08\x00\x00\x00")) // bad magic
 	f.Add([]byte{})
 	// Header declaring an oversized payload backed by nothing.
-	huge := append([]byte(nil), tb[:10]...)
+	huge := append([]byte(nil), tb[:headerLen]...)
 	binary.LittleEndian.PutUint32(huge[6:], maxFramePayload+1)
 	f.Add(huge)
+	// Valid frame with one payload bit flipped: must fail the checksum.
+	flipped := append([]byte(nil), tb...)
+	flipped[headerLen] ^= 0x01
+	f.Add(flipped)
 	// Params frame smuggling a NaN.
 	nan := frame(ProtocolVersion, MsgParams,
 		binary.LittleEndian.AppendUint64(

@@ -34,6 +34,8 @@ type fakeBackend struct {
 	joined    int  // elastic ranks admitted
 	steals    int  // MsgSteal pulls served
 
+	slowGet time.Duration // set before serving: Get stalls this long first
+
 	prev, cur *pgas.Array
 
 	done      chan struct{}
@@ -164,6 +166,9 @@ func (b *fakeBackend) Steal(rank int) (int, NextStatus) {
 }
 
 func (b *fakeBackend) Get(rank int, idx []uint64, out []float64) error {
+	if b.slowGet > 0 {
+		time.Sleep(b.slowGet)
+	}
 	w := int(b.cfg.Width)
 	for k, i := range idx {
 		if i >= uint64(b.prev.N()) {
@@ -940,6 +945,60 @@ func TestServeGetOutOfRangeKillsConn(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeSlowBackendDoesNotKillWorker: backend work between a request read
+// and its response write (a commit waiting out a checkpoint capture, a slow
+// shard fetch) must not burn the worker's liveness deadline — the response
+// write gets its own fresh deadline, so a healthy worker survives a backend
+// stall longer than DeadAfter.
+func TestServeSlowBackendDoesNotKillWorker(t *testing.T) {
+	b := newFakeBackend(1, 3, 1)
+	b.slowGet = 600 * time.Millisecond
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 250 * time.Millisecond})
+	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
+		t.Fatalf("worker failed across a slow backend call: %v", err)
+	}
+	if err := join(); err != nil {
+		t.Fatal(err)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failed[0] {
+		t.Fatal("healthy worker was failed because the backend was slow")
+	}
+	if len(b.committed) != 1 {
+		t.Fatalf("%d tasks committed, want 1", len(b.committed))
+	}
+}
+
+// TestServeStalledReaderWriteBounded: a worker that requests a response far
+// larger than the socket buffers and then never drains them must be declared
+// dead within the write deadline — the coordinator's send path can never
+// wedge on a stalled peer.
+func TestServeStalledReaderWriteBounded(t *testing.T) {
+	const nTasks, width = 4, 3
+	b := newFakeBackend(2, width, nTasks)
+	addr, join := startServe(t, b, ServeOptions{DeadAfter: 300 * time.Millisecond})
+	conn, bw := rawWorker(t, addr, b.cfg.RunHash)
+	defer conn.Close()
+	// A get batch whose response (1<<18 elements × width × 8 bytes ≈ 6 MiB)
+	// cannot fit any default socket buffer: the coordinator's write must
+	// block, then trip its deadline.
+	idx := make([]uint64, 1<<18)
+	if err := WriteMessage(bw, &Message{Type: MsgGet, Indices: idx}); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	// Never read a byte back. The rank must be failed in bounded time.
+	expectRankFailed(t, b, 0)
+	// The run still completes on a well-behaved worker.
 	if err := runWorkerLoop(t, addr, b.cfg.RunHash); err != nil {
 		t.Fatal(err)
 	}

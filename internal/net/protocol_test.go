@@ -10,7 +10,7 @@ import (
 )
 
 // welcomeBytes encodes a welcome frame and returns it for field surgery.
-// Payload layout after the 10-byte header: rank u32 | workers u32 | width
+// Payload layout after the header: rank u32 | workers u32 | width
 // u32 | rounds u32 | maxiter u32 | ntasks u64 | runhash u64 | seed u64 |
 // targetwork f64 | batchfrac f64 | gradtol f64.
 func welcomeBytes(t *testing.T) []byte {
@@ -18,32 +18,33 @@ func welcomeBytes(t *testing.T) []byte {
 }
 
 // TestWelcomeValidationBranches drives every bound of RunConfig.validate
-// through the decoder.
+// through the decoder. Offsets are payload-relative; the poked frame is
+// resealed so the checksum passes and the semantic validation fires.
 func TestWelcomeValidationBranches(t *testing.T) {
 	pokeU32 := func(off int, v uint32) func([]byte) {
-		return func(b []byte) { binary.LittleEndian.PutUint32(b[off:], v) }
+		return func(b []byte) { binary.LittleEndian.PutUint32(b[headerLen+off:], v) }
 	}
 	pokeU64 := func(off int, v uint64) func([]byte) {
-		return func(b []byte) { binary.LittleEndian.PutUint64(b[off:], v) }
+		return func(b []byte) { binary.LittleEndian.PutUint64(b[headerLen+off:], v) }
 	}
 	cases := []struct {
 		name string
 		poke func([]byte)
 		want string
 	}{
-		{"zero workers", pokeU32(14, 0), "workers"},
-		{"absurd workers", pokeU32(14, 1<<21), "workers"},
-		{"absurd width", pokeU32(18, 1<<17), "width"},
-		{"absurd rounds", pokeU32(22, 1<<21), "rounds"},
-		{"absurd maxiter", pokeU32(26, 1<<21), "rounds"},
-		{"absurd ntasks", pokeU64(30, 1<<25), "tasks"},
-		{"negative targetwork", pokeU64(54, 0x8000000000000001), "targetwork"},
-		{"batchfrac over 1", pokeU64(62, 0x4000000000000000), "targetwork"}, // 2.0
+		{"zero workers", pokeU32(4, 0), "workers"},
+		{"absurd workers", pokeU32(4, 1<<21), "workers"},
+		{"absurd width", pokeU32(8, 1<<17), "width"},
+		{"absurd rounds", pokeU32(12, 1<<21), "rounds"},
+		{"absurd maxiter", pokeU32(16, 1<<21), "rounds"},
+		{"absurd ntasks", pokeU64(20, 1<<25), "tasks"},
+		{"negative targetwork", pokeU64(44, 0x8000000000000001), "targetwork"},
+		{"batchfrac over 1", pokeU64(52, 0x4000000000000000), "targetwork"}, // 2.0
 	}
 	for _, tc := range cases {
 		b := welcomeBytes(t)
 		tc.poke(b)
-		_, err := ReadMessage(strings.NewReader(string(b)))
+		_, err := ReadMessage(strings.NewReader(string(reseal(b))))
 		if err == nil {
 			t.Errorf("%s: accepted", tc.name)
 			continue

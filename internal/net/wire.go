@@ -13,7 +13,12 @@
 //
 // Wire format, little-endian throughout. Every frame is
 //
-//	magic "CELW" | u8 version | u8 type | u32 payload length | payload
+//	magic "CELW" | u8 version | u8 type | u32 payload length | u32 crc | payload
+//
+// where crc is CRC-32C (Castagnoli) over version, type, length, and payload.
+// The checksum turns in-flight corruption — a flipped bit in a float payload
+// would otherwise silently poison a PGAS shard and diverge the catalog — into
+// a loud, connection-fatal decode error.
 //
 // The reader is hardened the same way the CELK1 checkpoint reader is:
 // implausible lengths and counts error out before any large allocation, and
@@ -27,6 +32,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 
@@ -39,8 +45,25 @@ var wireMagic = [4]byte{'C', 'E', 'L', 'W'}
 // ProtocolVersion is the wire protocol version spoken by this build. Version
 // negotiation is strict equality: a frame header carrying any other version
 // is refused before its payload is interpreted. Version 2 added the elastic
-// membership traffic (MsgJoin/MsgLeave/MsgSteal).
-const ProtocolVersion = 2
+// membership traffic (MsgJoin/MsgLeave/MsgSteal); version 3 added the
+// per-frame CRC-32C.
+const ProtocolVersion = 3
+
+// headerLen is the fixed frame header size:
+// magic(4) + version(1) + type(1) + length(4) + crc(4).
+const headerLen = 14
+
+// crcTable is the Castagnoli polynomial table shared by both frame ends.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// frameCRC sums the integrity-protected span of one frame: the version,
+// type, and length bytes of the header, then the payload. The magic is
+// excluded (it is matched byte-for-byte anyway) and the checksum cannot
+// cover itself.
+func frameCRC(head []byte, payload []byte) uint32 {
+	crc := crc32.Checksum(head[4:10], crcTable)
+	return crc32.Update(crc, crcTable, payload)
+}
 
 // Message types. Direction is noted as w→c (worker to coordinator) or c→w.
 const (
@@ -290,11 +313,12 @@ func WriteMessage(w io.Writer, m *Message) error {
 	if len(e.b) > maxFramePayload {
 		return fmt.Errorf("net: frame payload %d bytes exceeds the %d cap", len(e.b), maxFramePayload)
 	}
-	var head [10]byte
+	var head [headerLen]byte
 	copy(head[:4], wireMagic[:])
 	head[4] = ProtocolVersion
 	head[5] = m.Type
 	binary.LittleEndian.PutUint32(head[6:], uint32(len(e.b)))
+	binary.LittleEndian.PutUint32(head[10:], frameCRC(head[:], e.b))
 	if _, err := w.Write(head[:]); err != nil {
 		return err
 	}
@@ -306,11 +330,16 @@ func WriteMessage(w io.Writer, m *Message) error {
 // build does not speak.
 var ErrBadVersion = errors.New("net: unsupported protocol version")
 
+// ErrChecksum reports a frame whose CRC does not match its contents: the
+// bytes were corrupted somewhere between the peer's encoder and this reader.
+var ErrChecksum = errors.New("net: frame checksum mismatch")
+
 // ReadMessage reads and decodes one frame. The header is validated (magic,
-// version, known type, bounded length) before any payload allocation, and
-// the payload buffer grows with bytes actually read.
+// version, known type, bounded length) before any payload allocation, the
+// payload buffer grows with bytes actually read, and the CRC is verified
+// before a single payload byte is interpreted.
 func ReadMessage(r io.Reader) (*Message, error) {
-	var head [10]byte
+	var head [headerLen]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return nil, err
 	}
@@ -332,6 +361,10 @@ func ReadMessage(r io.Reader) (*Message, error) {
 	payload, err := readBounded(r, int(length))
 	if err != nil {
 		return nil, err
+	}
+	if want, got := binary.LittleEndian.Uint32(head[10:]), frameCRC(head[:], payload); want != got {
+		return nil, fmt.Errorf("%w: frame type %d declares CRC %08x, contents sum to %08x",
+			ErrChecksum, typ, want, got)
 	}
 	m, err := decodePayload(typ, payload)
 	if err != nil {

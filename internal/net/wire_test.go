@@ -71,12 +71,22 @@ func TestMessageRoundTrip(t *testing.T) {
 	}
 }
 
-// frame hand-builds a raw frame for corruption tests.
+// frame hand-builds a raw frame — correctly checksummed — for corruption
+// tests, so each case trips exactly the validation branch it targets.
 func frame(version, typ byte, payload []byte) []byte {
 	b := append([]byte(nil), wireMagic[:]...)
 	b = append(b, version, typ)
 	b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
-	return append(b, payload...)
+	b = binary.LittleEndian.AppendUint32(b, 0)
+	b = append(b, payload...)
+	return reseal(b)
+}
+
+// reseal recomputes a frame's CRC in place after field surgery, so a patched
+// frame exercises the decoder's semantic validation rather than the checksum.
+func reseal(b []byte) []byte {
+	binary.LittleEndian.PutUint32(b[10:], frameCRC(b[:headerLen], b[headerLen:]))
+	return b
 }
 
 func encoded(t *testing.T, m *Message) []byte {
@@ -115,14 +125,24 @@ func TestReadMessageRejectsMalformedFrames(t *testing.T) {
 		{"NaN params", nanParams, "non-finite"},
 		{"welcome rank out of range", func() []byte {
 			b := append([]byte(nil), validWelcome...)
-			binary.LittleEndian.PutUint32(b[10:], 1<<21) // past the elastic rank cap
-			return b
+			binary.LittleEndian.PutUint32(b[headerLen:], 1<<21) // past the elastic rank cap
+			return reseal(b)
 		}(), "rank"},
 		{"welcome zero width", func() []byte {
 			b := append([]byte(nil), validWelcome...)
-			binary.LittleEndian.PutUint32(b[18:], 0) // width field
-			return b
+			binary.LittleEndian.PutUint32(b[headerLen+8:], 0) // width field
+			return reseal(b)
 		}(), "width"},
+		{"bit-flipped payload", func() []byte {
+			b := append([]byte(nil), validWelcome...)
+			b[headerLen+2] ^= 0x10 // corrupt without resealing
+			return b
+		}(), "checksum"},
+		{"bit-flipped type", func() []byte {
+			b := encoded(t, &Message{Type: MsgWait})
+			b[5] ^= MsgWait ^ MsgHeartbeat // still a known type, but not the summed one
+			return b
+		}(), "checksum"},
 		{"get zero indices", frame(ProtocolVersion, MsgGet,
 			binary.LittleEndian.AppendUint32(nil, 0)), "indices"},
 		{"get absurd count", frame(ProtocolVersion, MsgGet,
